@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -all
+//	experiments -fig5 -threads 14
+//	experiments -fig7 -table2
+//	experiments -case dedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"txsampler/internal/experiments"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 14, "thread count")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		all     = flag.Bool("all", false, "run everything")
+		fig5    = flag.Bool("fig5", false, "Figure 5: runtime overhead per benchmark")
+		fig6    = flag.Bool("fig6", false, "Figure 6: overhead vs thread count")
+		table1  = flag.Bool("table1", false, "Table 1: CLOMP-TM inputs")
+		fig7    = flag.Bool("fig7", false, "Figure 7: CLOMP-TM decompositions")
+		fig8    = flag.Bool("fig8", false, "Figure 8: application categorization")
+		table2  = flag.Bool("table2", false, "Table 2: optimization speedups")
+		mem     = flag.Bool("mem", false, "collector memory overhead")
+		acc     = flag.Bool("accuracy", false, "attribution accuracy vs a conventional profiler")
+		tsx     = flag.Bool("tsxprof", false, "record-and-replay baseline comparison (TSXProf-style)")
+		caseN   = flag.String("case", "", "case study: dedup | leveldb | histo")
+	)
+	flag.Parse()
+	w := os.Stdout
+
+	any := false
+	run := func(enabled bool, f func() error) {
+		if enabled || *all {
+			any = true
+			if err := f(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	run(*table1, func() error { experiments.Table1(w); return nil })
+	run(*fig5, func() error { _, _, err := experiments.Fig5(w, *threads, *seed); return err })
+	run(*fig6, func() error { _, err := experiments.Fig6(w, *seed); return err })
+	run(*fig7, func() error { _, err := experiments.Fig7(w, *threads, *seed); return err })
+	run(*fig8, func() error { _, err := experiments.Fig8(w, *threads, *seed); return err })
+	run(*table2, func() error { _, err := experiments.Table2(w, *threads, *seed); return err })
+	run(*mem, func() error { _, err := experiments.MemOverhead(w, *threads, *seed); return err })
+	run(*acc, func() error { return experiments.AccuracyComparison(w, *threads, *seed) })
+	run(*tsx, func() error { return experiments.TSXProfComparison(w, *threads, *seed) })
+
+	switch *caseN {
+	case "":
+	case "dedup":
+		any = true
+		if _, _, err := experiments.CaseStudy(w, "parsec/dedup", *threads, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case "leveldb":
+		any = true
+		if _, _, err := experiments.CaseStudy(w, "app/leveldb", *threads, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case "histo":
+		any = true
+		if _, _, err := experiments.CaseStudy(w, "parboil/histo-1", *threads, *seed); err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := experiments.CaseStudy(w, "parboil/histo-2", *threads, *seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown case study %q", *caseN)
+	}
+	if *all && *caseN == "" {
+		for _, c := range []string{"parsec/dedup", "app/leveldb", "parboil/histo-1"} {
+			if _, _, err := experiments.CaseStudy(w, c, *threads, *seed); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if !any {
+		flag.Usage()
+	}
+}

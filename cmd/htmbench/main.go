@@ -1,0 +1,96 @@
+// Command htmbench lists and natively runs HTMBench workloads,
+// printing exact ground-truth statistics (no profiler attached).
+//
+//	htmbench -list
+//	htmbench -suite stamp
+//	htmbench stamp/vacation synchro/linkedlist
+//	htmbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"txsampler"
+	"txsampler/internal/htmbench"
+	"txsampler/internal/tsxprof"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 0, "thread count (0 = workload default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		list    = flag.Bool("list", false, "list available workloads")
+		all     = flag.Bool("all", false, "run every workload")
+		suite   = flag.String("suite", "", "run every workload of one suite")
+		trace   = flag.String("trace", "", "record one workload and write a Chrome trace (chrome://tracing) to this path")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range htmbench.All() {
+			fmt.Printf("%-28s [%s] %s\n", w.Name, w.Suite, w.Desc)
+		}
+		return
+	}
+
+	if *trace != "" {
+		if flag.NArg() != 1 {
+			log.Fatal("-trace needs exactly one workload")
+		}
+		events, err := tsxprof.RecordTrace(flag.Arg(0), *threads, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tsxprof.WriteChromeTrace(f, events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d events written to %s\n", len(events), *trace)
+		return
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = htmbench.Names()
+	case *suite != "":
+		for _, w := range htmbench.BySuite(*suite) {
+			names = append(names, w.Name)
+		}
+		if len(names) == 0 {
+			log.Fatalf("no workloads in suite %q", *suite)
+		}
+	default:
+		names = flag.Args()
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: htmbench [-threads N] [-seed S] (-list | -all | -suite S | <workload>...)")
+		os.Exit(2)
+	}
+
+	for _, name := range names {
+		res, err := txsampler.Run(name, txsampler.Options{Threads: *threads, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := res.GroundTruth
+		var aborts uint64
+		for _, n := range g.Aborts {
+			aborts += n
+		}
+		fmt.Printf("%-28s cycles=%-10d commits=%-7d aborts=%-7d causes:", name, res.ElapsedCycles, g.Commits, aborts)
+		for _, c := range g.AbortCauses() {
+			fmt.Printf(" %v=%d", c, g.Aborts[c])
+		}
+		fmt.Println()
+	}
+}

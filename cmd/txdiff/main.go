@@ -1,0 +1,50 @@
+// Command txdiff compares two profile databases (or re-profiles two
+// workloads) and prints the metric deltas and top-moving contexts —
+// the paper's §8 iterative workflow: optimize, re-profile, compare.
+//
+//	txdiff before.json after.json
+//	txdiff -run parsec/dedup parsec/dedup-opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"txsampler"
+	"txsampler/internal/analyzer"
+	"txsampler/internal/profile"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 0, "thread count for -run (0 = workload default)")
+		seed    = flag.Int64("seed", 1, "workload seed for -run")
+		run     = flag.Bool("run", false, "arguments are workload names to profile, not saved databases")
+		top     = flag.Int("top", 8, "number of moving contexts to show")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: txdiff [-run] [-threads N] [-seed S] <before> <after>")
+		os.Exit(2)
+	}
+
+	load := func(arg string) *analyzer.Report {
+		if *run {
+			res, err := txsampler.Run(arg, txsampler.Options{Threads: *threads, Seed: *seed, Profile: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res.Report
+		}
+		db, err := profile.Load(arg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return db.Report()
+	}
+	before := load(flag.Arg(0))
+	after := load(flag.Arg(1))
+	analyzer.RenderDiff(os.Stdout, before, after, *top)
+}

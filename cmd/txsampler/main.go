@@ -1,0 +1,149 @@
+// Command txsampler profiles an HTMBench workload and prints the
+// merged report, the per-thread commit/abort histogram, and the
+// decision tree's optimization advice. Profiles can be saved to a
+// JSON database and re-opened later, and rendered as a
+// calling-context tree with metric columns (the paper's GUI views).
+//
+//	txsampler -list
+//	txsampler parsec/dedup
+//	txsampler -threads 8 -seed 3 -tree -histogram stamp/vacation
+//	txsampler -o dedup.json parsec/dedup
+//	txsampler -view dedup.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"txsampler"
+	"txsampler/internal/core"
+	"txsampler/internal/htmbench"
+	"txsampler/internal/lbr"
+	"txsampler/internal/profile"
+	"txsampler/internal/viewer"
+)
+
+func main() {
+	var (
+		threads = flag.Int("threads", 0, "thread count (0 = workload default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		list    = flag.Bool("list", false, "list available workloads")
+		native  = flag.Bool("native", false, "run without the profiler and print ground truth only")
+		tree    = flag.Bool("tree", false, "render the calling-context view (Figure 9)")
+		histo   = flag.Bool("histogram", false, "render the per-thread commit/abort histogram")
+		output  = flag.String("o", "", "save the profile database (JSON) to this path")
+		view    = flag.String("view", "", "open a saved profile database instead of running")
+		acc     = flag.Bool("accuracy", false, "score attribution accuracy against ground truth")
+		plot    = flag.String("plot", "", "plot per-thread CS time for a context path, e.g. 'thread_root>tm_begin'")
+		html    = flag.String("html", "", "write a standalone HTML report to this path")
+	)
+	flag.Parse()
+
+	if *view != "" {
+		db, err := profile.Load(*view)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := db.Report()
+		r.Render(os.Stdout)
+		fmt.Println()
+		viewer.Tree(os.Stdout, r, viewer.TreeOptions{})
+		fmt.Println()
+		viewer.Histogram(os.Stdout, r)
+		return
+	}
+
+	if *list {
+		for _, w := range htmbench.All() {
+			fmt.Printf("%-28s [%s] %s\n", w.Name, w.Suite, w.Desc)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: txsampler [flags] <workload> | -list | -view profile.json (see -h)")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if *acc {
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %s (%d threads)\n", res.Workload, res.Threads)
+		fmt.Printf("samples: %d total, %d inside transactions\n", a.Total, a.InTx)
+		if a.InTx > 0 {
+			fmt.Printf("in-tx path detected via LBR abort bit: %.1f%%\n", 100*float64(a.PathDetected)/float64(a.InTx))
+			fmt.Printf("full context recovered: txsampler %.1f%%, stack-only profiler %.1f%%\n",
+				100*float64(a.TxSamplerCorrect)/float64(a.InTx),
+				100*float64(a.NaiveCorrect)/float64(a.InTx))
+		}
+		return
+	}
+	res, err := txsampler.Run(name, txsampler.Options{
+		Threads: *threads, Seed: *seed, Profile: !*native,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%d threads, seed %d)\n", res.Workload, res.Threads, *seed)
+	fmt.Printf("elapsed: %d cycles (total work %d)\n", res.ElapsedCycles, res.TotalCycles)
+	g := res.GroundTruth
+	fmt.Printf("ground truth: %d commits; aborts:", g.Commits)
+	for _, c := range g.AbortCauses() {
+		fmt.Printf(" %v=%d", c, g.Aborts[c])
+	}
+	fmt.Println()
+
+	if res.Report != nil {
+		if *output != "" {
+			if err := profile.FromReport(res.Report).Save(*output); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile database written to %s\n", *output)
+		}
+		if *tree {
+			fmt.Println()
+			viewer.Tree(os.Stdout, res.Report, viewer.TreeOptions{})
+		}
+		if *histo {
+			fmt.Println()
+			viewer.Histogram(os.Stdout, res.Report)
+		}
+		if *html != "" {
+			f, err := os.Create(*html)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := viewer.HTML(f, res.Report, res.Advice, viewer.TreeOptions{}); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("HTML report written to %s\n", *html)
+		}
+		if *plot != "" {
+			fmt.Println()
+			var path []lbr.IP
+			for _, part := range strings.Split(*plot, ">") {
+				fn, site, _ := strings.Cut(strings.TrimSpace(part), ":")
+				path = append(path, lbr.IP{Fn: fn, Site: site})
+			}
+			viewer.ContextHistogram(os.Stdout, res.Report, path, "T",
+				func(m *core.Metrics) uint64 { return m.T })
+		}
+		fmt.Println()
+		res.Report.Render(os.Stdout)
+		fmt.Println("\nper-thread commit/abort samples:")
+		for _, t := range res.Report.PerThread {
+			fmt.Printf("  thread %2d: commits=%-5d aborts=%d\n", t.TID, t.CommitSamples, t.AbortSamples)
+		}
+		fmt.Println()
+		res.Advice.Render(os.Stdout)
+		fmt.Printf("\ncollector state: %.1f KiB\n", float64(res.CollectorBytes)/1024)
+	}
+}

@@ -1,0 +1,37 @@
+package txsampler_test
+
+import (
+	"fmt"
+
+	"txsampler"
+)
+
+// ExampleRun profiles an HTMBench program and inspects the derived
+// metrics programmatically.
+func ExampleRun() {
+	res, err := txsampler.Run("micro/low-abort", txsampler.Options{
+		Threads: 4, Seed: 1, Profile: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("profiled:", res.Workload)
+	fmt.Println("every critical section committed:",
+		res.GroundTruth.Commits == 4*400) // 400 iterations x 4 threads
+	fmt.Println("has advice:", len(res.Advice.Suggestions) > 0)
+	// Output:
+	// profiled: micro/low-abort
+	// every critical section committed: true
+	// has advice: true
+}
+
+// ExampleSpeedup measures one Table 2 optimization pair.
+func ExampleSpeedup() {
+	s, err := txsampler.Speedup("npb/ua", "npb/ua-merged", txsampler.Options{Threads: 8, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("merging small transactions pays off:", s > 1)
+	// Output:
+	// merging small transactions pays off: true
+}

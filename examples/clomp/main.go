@@ -1,0 +1,21 @@
+// CLOMP-TM controlled experiment (paper §7.2, Table 1, Figure 7):
+// profiles the six configurations (small/large transactions x three
+// scatter inputs) and prints the three decompositions TxSampler uses
+// to explain their behaviour.
+//
+//	go run ./examples/clomp
+package main
+
+import (
+	"log"
+	"os"
+
+	"txsampler/internal/experiments"
+)
+
+func main() {
+	experiments.Table1(os.Stdout)
+	if _, err := experiments.Fig7(os.Stdout, 14, 1); err != nil {
+		log.Fatal(err)
+	}
+}

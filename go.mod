@@ -1,0 +1,3 @@
+module txsampler
+
+go 1.22

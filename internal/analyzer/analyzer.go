@@ -1,0 +1,404 @@
+// Package analyzer is TxSampler's offline data analyzer (paper §6):
+// it coalesces the per-thread profiles produced by the collector,
+// derives the paper's metrics — time decomposition shares, abort
+// penalty and cause ratios, critical-section significance r_cs,
+// abort/commit ratio r_a/c, per-thread balance — and renders reports.
+// The decision-tree model in the decision package consumes its
+// Report.
+package analyzer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"txsampler/internal/cct"
+	"txsampler/internal/core"
+	"txsampler/internal/htm"
+	"txsampler/internal/lbr"
+	"txsampler/internal/pmu"
+)
+
+// ThreadSummary is one thread's sampled commit/abort balance, the
+// §5 contention histogram.
+type ThreadSummary struct {
+	TID           int
+	CommitSamples uint64
+	AbortSamples  uint64 // application aborts only
+}
+
+// Report is the merged, derived view of one profiled execution.
+type Report struct {
+	Program string
+	Threads int
+
+	// Merged is the cross-thread coalesced calling context tree.
+	Merged *core.Tree
+	// Totals aggregates all contexts.
+	Totals core.Metrics
+	// PerThread holds the §5 per-thread histograms.
+	PerThread []ThreadSummary
+
+	// Profiles are the collector's per-thread profiles (not
+	// serialized; nil for reports loaded from a profile database).
+	// The GUI-style per-context per-thread plots read them.
+	Profiles []*core.Profile
+
+	Periods pmu.Periods
+}
+
+// Analyze merges a collector's per-thread profiles with a reduction
+// tree (pairs at each round, mirroring the paper's parallel merge) and
+// derives the report.
+func Analyze(program string, col *core.Collector) *Report {
+	profiles := col.Profiles()
+	r := &Report{
+		Program: program,
+		Threads: len(profiles),
+		Periods: col.Periods(),
+	}
+	r.Profiles = profiles
+	trees := make([]*core.Tree, len(profiles))
+	for i, p := range profiles {
+		// Copy each profile tree so analysis never mutates collector
+		// state: merge into a fresh tree.
+		t := newTree()
+		t.Merge(p.Tree, mergeMetrics)
+		trees[i] = t
+		r.Totals.Merge(&p.Totals)
+		r.PerThread = append(r.PerThread, ThreadSummary{
+			TID:           p.TID,
+			CommitSamples: p.Totals.CommitSamples,
+			AbortSamples:  p.Totals.AppAborts(),
+		})
+	}
+	// Reduction tree: combine pairs until one remains. Pairs within a
+	// round are independent, so they merge in parallel — the paper's
+	// parallelized coalescing (§6, citing the HPCToolkit reduction
+	// tree).
+	for len(trees) > 1 {
+		var next []*core.Tree
+		var wg sync.WaitGroup
+		for i := 0; i < len(trees); i += 2 {
+			if i+1 < len(trees) {
+				wg.Add(1)
+				go func(dst, src *core.Tree) {
+					defer wg.Done()
+					dst.Merge(src, mergeMetrics)
+				}(trees[i], trees[i+1])
+			}
+			next = append(next, trees[i])
+		}
+		wg.Wait()
+		trees = next
+	}
+	if len(trees) == 1 {
+		r.Merged = trees[0]
+	} else {
+		r.Merged = newTree()
+	}
+	return r
+}
+
+func newTree() *core.Tree { return cct.NewTree[core.Metrics]() }
+
+func mergeMetrics(dst, src *core.Metrics) { dst.Merge(src) }
+
+// Rcs returns the critical-section duration ratio r_cs = T/W
+// (paper §7.3). Zero when no cycles samples were taken.
+func (r *Report) Rcs() float64 { return ratio(r.Totals.T, r.Totals.W) }
+
+// TimeShares returns the shares of T spent in the transaction path,
+// fallback path, lock waiting, and transaction overhead (Equation 2).
+func (r *Report) TimeShares() (tx, fb, wait, oh float64) {
+	t := r.Totals
+	return ratio(t.Ttx, t.T), ratio(t.Tfb, t.T), ratio(t.Twait, t.T), ratio(t.Toh, t.T)
+}
+
+// AbortCommitRatio returns r_a/c over sampled application aborts and
+// commits, scaled by their sampling periods so differing periods
+// still compare event counts.
+func (r *Report) AbortCommitRatio() float64 {
+	a := float64(r.Totals.AppAborts()) * float64(max64(r.Periods[pmu.TxAbort], 1))
+	c := float64(r.Totals.CommitSamples) * float64(max64(r.Periods[pmu.TxCommit], 1))
+	if c == 0 {
+		if a == 0 {
+			return 0
+		}
+		return inf
+	}
+	return a / c
+}
+
+const inf = 1e18
+
+// CauseShare returns cause's share of the total application abort
+// weight (Equation 4's r_conflict and friends).
+func (r *Report) CauseShare(c htm.Cause) float64 {
+	var total uint64
+	for cc, w := range r.Totals.AbortWeight {
+		if htm.Cause(cc) != htm.Interrupt {
+			total += w
+		}
+	}
+	return ratio(r.Totals.AbortWeight[c], total)
+}
+
+// MeanAbortWeight returns w_t (Equation 3) over all sampled
+// application aborts.
+func (r *Report) MeanAbortWeight() float64 {
+	var w, n uint64
+	for c := range r.Totals.AbortWeight {
+		if htm.Cause(c) == htm.Interrupt {
+			continue
+		}
+		w += r.Totals.AbortWeight[c]
+		n += r.Totals.AbortCount[c]
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(w) / float64(n)
+}
+
+// FalseSharingShare returns false-sharing samples over all contention
+// samples.
+func (r *Report) FalseSharingShare() float64 {
+	return ratio(r.Totals.FalseSharing, r.Totals.TrueSharing+r.Totals.FalseSharing)
+}
+
+// Category is the paper's Figure 8 program classification.
+type Category int
+
+const (
+	// TypeI: critical sections are insignificant (r_cs < 0.2).
+	TypeI Category = iota + 1
+	// TypeII: significant critical sections, low abort/commit ratio.
+	TypeII
+	// TypeIII: significant critical sections, aborts exceed commits.
+	TypeIII
+)
+
+func (c Category) String() string {
+	switch c {
+	case TypeI:
+		return "Type I (CS < 20%)"
+	case TypeII:
+		return "Type II (CS >= 20%, abort/commit <= 1)"
+	case TypeIII:
+		return "Type III (CS >= 20%, abort/commit > 1)"
+	}
+	return "unknown"
+}
+
+// Categorize applies Figure 8's thresholds.
+func (r *Report) Categorize() Category {
+	if r.Rcs() < 0.2 {
+		return TypeI
+	}
+	if r.AbortCommitRatio() <= 1 {
+		return TypeII
+	}
+	return TypeIII
+}
+
+// Imbalance returns max/mean of per-thread sampled commit counts — a
+// histogram skew indicator for §5's contention metrics (1 = balanced).
+func (r *Report) Imbalance() float64 {
+	if len(r.PerThread) == 0 {
+		return 1
+	}
+	var sum, maxN uint64
+	for _, t := range r.PerThread {
+		sum += t.CommitSamples
+		if t.CommitSamples > maxN {
+			maxN = t.CommitSamples
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(r.PerThread))
+	return float64(maxN) / mean
+}
+
+// WastedWorkShare estimates the fraction of all cycles burned in
+// aborted transaction attempts: aggregate application abort weight over
+// the work estimated from cycles samples (VTune's "wasted cycles"
+// metric, §9). Returns 0 when no cycles samples were taken.
+func (r *Report) WastedWorkShare() float64 {
+	totalCycles := float64(r.Totals.W) * float64(max64(r.Periods[pmu.Cycles], 1))
+	if totalCycles == 0 {
+		return 0
+	}
+	var wasted float64
+	for c, wgt := range r.Totals.AbortWeight {
+		if htm.Cause(c) != htm.Interrupt {
+			// Weights are sampled once per Periods[TxAbort] aborts.
+			wasted += float64(wgt) * float64(max64(r.Periods[pmu.TxAbort], 1))
+		}
+	}
+	share := wasted / totalCycles
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// ImbalancedContext reports a calling context whose per-thread
+// critical-section samples are skewed — §5's contention histogram
+// finding ("a thread may always abort other threads, causing thread
+// starvation").
+type ImbalancedContext struct {
+	Frames    []lbr.IP
+	PerThread []uint64
+	Skew      float64 // max over mean
+}
+
+// ImbalancedContexts scans the hottest critical-section contexts for
+// per-thread skew above the threshold (e.g. 2.0 = one thread gets
+// twice the mean). It needs the collector's per-thread trees, so it
+// returns nil for reports loaded from a profile database.
+func (r *Report) ImbalancedContexts(k int, threshold float64) []ImbalancedContext {
+	if r.Profiles == nil || len(r.Profiles) < 2 {
+		return nil
+	}
+	var out []ImbalancedContext
+	for _, hot := range r.TopTime(k) {
+		per := make([]uint64, len(r.Profiles))
+		var sum, maxV uint64
+		for i, p := range r.Profiles {
+			n := p.Tree.Root
+			for _, f := range hot.Frames {
+				if n = n.Lookup(f); n == nil {
+					break
+				}
+			}
+			if n != nil {
+				per[i] = n.Data.T
+			}
+			sum += per[i]
+			if per[i] > maxV {
+				maxV = per[i]
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		mean := float64(sum) / float64(len(per))
+		if skew := float64(maxV) / mean; skew >= threshold {
+			out = append(out, ImbalancedContext{Frames: hot.Frames, PerThread: per, Skew: skew})
+		}
+	}
+	return out
+}
+
+// HotContext is one ranked calling context.
+type HotContext struct {
+	Frames  []lbr.IP
+	Metrics core.Metrics
+}
+
+func (h HotContext) Path() string {
+	parts := make([]string, len(h.Frames))
+	for i, f := range h.Frames {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, " > ")
+}
+
+// TopBy returns the k contexts with the largest value(metrics),
+// considering only nodes where the metric was directly recorded.
+func (r *Report) TopBy(k int, value func(*core.Metrics) uint64) []HotContext {
+	var all []HotContext
+	r.Merged.Walk(func(n *core.Node, _ int) {
+		if v := value(&n.Data); v > 0 {
+			all = append(all, HotContext{Frames: n.Frames(), Metrics: n.Data})
+		}
+	})
+	sort.SliceStable(all, func(i, j int) bool {
+		return value(&all[i].Metrics) > value(&all[j].Metrics)
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// TopAbortWeight ranks contexts by total application abort weight —
+// the paper's "sort abort weight" investigation step (§8.1).
+func (r *Report) TopAbortWeight(k int) []HotContext {
+	return r.TopBy(k, func(m *core.Metrics) uint64 {
+		var w uint64
+		for c, v := range m.AbortWeight {
+			if htm.Cause(c) != htm.Interrupt {
+				w += v
+			}
+		}
+		return w
+	})
+}
+
+// TopTime ranks contexts by critical-section samples.
+func (r *Report) TopTime(k int) []HotContext {
+	return r.TopBy(k, func(m *core.Metrics) uint64 { return m.T })
+}
+
+// TopFalseSharing ranks contexts by false-sharing samples.
+func (r *Report) TopFalseSharing(k int) []HotContext {
+	return r.TopBy(k, func(m *core.Metrics) uint64 { return m.FalseSharing })
+}
+
+// Render writes a human-readable report in the spirit of the paper's
+// GUI metric pane.
+func (r *Report) Render(w io.Writer) {
+	t := r.Totals
+	fmt.Fprintf(w, "=== TxSampler report: %s (%d threads) ===\n", r.Program, r.Threads)
+	fmt.Fprintf(w, "samples: W=%d T=%d (r_cs=%.2f)\n", t.W, t.T, r.Rcs())
+	tx, fb, wait, oh := r.TimeShares()
+	fmt.Fprintf(w, "time in CS: tx=%.1f%% fallback=%.1f%% lock-wait=%.1f%% overhead=%.1f%%\n",
+		100*tx, 100*fb, 100*wait, 100*oh)
+	fmt.Fprintf(w, "aborts/commits (sampled, scaled): ratio=%.3f mean-weight=%.0f\n",
+		r.AbortCommitRatio(), r.MeanAbortWeight())
+	fmt.Fprintf(w, "abort weight shares: conflict=%.1f%% capacity=%.1f%% sync=%.1f%%\n",
+		100*r.CauseShare(htm.Conflict), 100*r.CauseShare(htm.Capacity), 100*r.CauseShare(htm.Sync))
+	if t.ConflictTx+t.ConflictNonTx > 0 {
+		fmt.Fprintf(w, "conflict sources: transactional=%d non-transactional(lock)=%d\n",
+			t.ConflictTx, t.ConflictNonTx)
+	}
+	fmt.Fprintf(w, "sharing: true=%d false=%d (false share %.1f%%)\n",
+		t.TrueSharing, t.FalseSharing, 100*r.FalseSharingShare())
+	fmt.Fprintf(w, "category: %s; commit imbalance=%.2f; wasted work=%.1f%%\n",
+		r.Categorize(), r.Imbalance(), 100*r.WastedWorkShare())
+	for _, ic := range r.ImbalancedContexts(5, 3.0) {
+		fmt.Fprintf(w, "imbalanced context (skew %.1f): %s\n", ic.Skew, HotContext{Frames: ic.Frames}.Path())
+	}
+	if hot := r.TopAbortWeight(3); len(hot) > 0 {
+		fmt.Fprintf(w, "hottest abort contexts:\n")
+		for _, h := range hot {
+			fmt.Fprintf(w, "  %s\n", h.Path())
+		}
+	}
+	if hot := r.TopTime(3); len(hot) > 0 {
+		fmt.Fprintf(w, "hottest CS contexts:\n")
+		for _, h := range hot {
+			fmt.Fprintf(w, "  %s (T=%d)\n", h.Path(), h.Metrics.T)
+		}
+	}
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

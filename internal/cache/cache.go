@@ -1,0 +1,261 @@
+// Package cache models the memory hierarchy the simulated machine runs
+// on: one private set-associative L1 cache per core kept coherent by an
+// invalidation-based directory (MESI-style, collapsed to the states the
+// simulation needs: Modified, Shared, Invalid).
+//
+// The cache serves two purposes. First, it supplies access latencies,
+// so workload timing reflects locality and sharing: a write to a line
+// another core holds costs an invalidation round-trip, which is how
+// false sharing becomes visible in the cycle counts. Second, its set
+// geometry is reused by the HTM engine to decide capacity aborts: a
+// transaction whose footprint overflows an L1 set cannot be tracked by
+// the hardware, exactly as on Intel TSX.
+package cache
+
+import (
+	"fmt"
+
+	"txsampler/internal/mem"
+)
+
+// Config describes the per-core L1 geometry and the latency model.
+// All latencies are in cycles.
+type Config struct {
+	Sets int // number of sets per L1 (power of two)
+	Ways int // associativity
+
+	HitLatency    int // L1 hit
+	MissLatency   int // fill from memory/LLC
+	RemoteLatency int // fill or upgrade requiring another core's copy
+}
+
+// DefaultConfig mirrors the paper's evaluation machine closely enough
+// for shape: a 64KB 8-way L1 with 64-byte lines (128 sets).
+func DefaultConfig() Config {
+	return Config{Sets: 128, Ways: 8, HitLatency: 4, MissLatency: 60, RemoteLatency: 90}
+}
+
+// SetIndex returns the L1 set a line maps to.
+func (c Config) SetIndex(line mem.Addr) int {
+	return int(line.LineIndex() % uint64(c.Sets))
+}
+
+// LinesPerL1 returns the total line capacity of one L1.
+func (c Config) LinesPerL1() int { return c.Sets * c.Ways }
+
+type way struct {
+	line  mem.Addr
+	valid bool
+	dirty bool
+	lru   uint64 // last-use tick; larger = more recent
+}
+
+type l1 struct {
+	sets [][]way
+	tick uint64
+}
+
+func newL1(cfg Config) *l1 {
+	c := &l1{sets: make([][]way, cfg.Sets)}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c
+}
+
+// lookup returns the way holding line, or nil.
+func (c *l1) lookup(set int, line mem.Addr) *way {
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.line == line {
+			return w
+		}
+	}
+	return nil
+}
+
+// insert places line into set, evicting LRU if needed. Returns the
+// evicted line and whether an eviction happened.
+func (c *l1) insert(set int, line mem.Addr, dirty bool) (mem.Addr, bool) {
+	c.tick++
+	victim := &c.sets[set][0]
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if !w.valid {
+			victim = w
+			break
+		}
+		if w.lru < victim.lru {
+			victim = w
+		}
+	}
+	evicted, had := victim.line, victim.valid
+	*victim = way{line: line, valid: true, dirty: dirty, lru: c.tick}
+	return evicted, had
+}
+
+func (c *l1) touch(w *way) {
+	c.tick++
+	w.lru = c.tick
+}
+
+func (c *l1) invalidate(set int, line mem.Addr) {
+	if w := c.lookup(set, line); w != nil {
+		w.valid = false
+	}
+}
+
+// dirEntry tracks which cores hold a line. owner >= 0 means that core
+// has the line Modified; otherwise sharers holds the Shared copies.
+type dirEntry struct {
+	sharers uint64 // bitmask of cores with a shared copy
+	owner   int    // core with modified copy, or -1
+}
+
+// AccessResult reports the outcome of one cache access.
+type AccessResult struct {
+	Latency     int
+	Hit         bool
+	Invalidated []int // cores whose copy was invalidated by this access
+	Evicted     bool  // this core's L1 evicted a line to make room
+	EvictedLine mem.Addr
+}
+
+// Hierarchy is the full multi-core cache system.
+type Hierarchy struct {
+	cfg   Config
+	cores []*l1
+	dir   map[mem.Addr]*dirEntry
+
+	// Stats, cumulative across all cores.
+	Hits, Misses, Invalidations, Evictions uint64
+}
+
+// New returns a hierarchy with n private L1 caches.
+func New(n int, cfg Config) *Hierarchy {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("cache: core count %d out of range [1,64]", n))
+	}
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways <= 0 {
+		panic("cache: Sets must be a positive power of two and Ways positive")
+	}
+	h := &Hierarchy{cfg: cfg, dir: make(map[mem.Addr]*dirEntry)}
+	for i := 0; i < n; i++ {
+		h.cores = append(h.cores, newL1(cfg))
+	}
+	return h
+}
+
+// Config returns the geometry the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+func (h *Hierarchy) entry(line mem.Addr) *dirEntry {
+	e := h.dir[line]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		h.dir[line] = e
+	}
+	return e
+}
+
+// Access performs a load (write=false) or store (write=true) by core to
+// the cache line containing a, updating coherence state, and returns
+// the latency and any remote invalidations. The returned Invalidated
+// slice is the set of *other* cores that lost their copy — the machine
+// layer uses it to charge sharing costs; the HTM engine performs its
+// own conflict detection on read/write sets.
+func (h *Hierarchy) Access(core int, a mem.Addr, write bool) AccessResult {
+	line := a.Line()
+	set := h.cfg.SetIndex(line)
+	c := h.cores[core]
+	e := h.entry(line)
+	w := c.lookup(set, line)
+
+	var res AccessResult
+	if !write {
+		if w != nil {
+			c.touch(w)
+			h.Hits++
+			return AccessResult{Latency: h.cfg.HitLatency, Hit: true}
+		}
+		// Read miss: downgrade a remote M copy if present.
+		h.Misses++
+		res.Latency = h.cfg.MissLatency
+		if e.owner >= 0 && e.owner != core {
+			res.Latency = h.cfg.RemoteLatency
+			e.sharers |= 1 << uint(e.owner)
+			e.owner = -1
+		}
+		e.sharers |= 1 << uint(core)
+		res.EvictedLine, res.Evicted = c.insert(set, line, false)
+		if res.Evicted {
+			h.evictFrom(core, res.EvictedLine)
+		}
+		return res
+	}
+
+	// Write.
+	if w != nil && e.owner == core {
+		c.touch(w)
+		w.dirty = true
+		h.Hits++
+		return AccessResult{Latency: h.cfg.HitLatency, Hit: true}
+	}
+	h.Misses++
+	res.Latency = h.cfg.MissLatency
+	// Invalidate every other copy.
+	if e.owner >= 0 && e.owner != core {
+		res.Latency = h.cfg.RemoteLatency
+		h.invalidateAt(e.owner, line)
+		res.Invalidated = append(res.Invalidated, e.owner)
+	}
+	for other := 0; other < len(h.cores); other++ {
+		if other == core || e.sharers&(1<<uint(other)) == 0 {
+			continue
+		}
+		res.Latency = h.cfg.RemoteLatency
+		h.invalidateAt(other, line)
+		res.Invalidated = append(res.Invalidated, other)
+	}
+	e.sharers = 0
+	e.owner = core
+	if w != nil {
+		// Upgrade in place: no fill needed.
+		c.touch(w)
+		w.dirty = true
+	} else {
+		res.EvictedLine, res.Evicted = c.insert(set, line, true)
+		if res.Evicted {
+			h.evictFrom(core, res.EvictedLine)
+		}
+	}
+	return res
+}
+
+func (h *Hierarchy) invalidateAt(core int, line mem.Addr) {
+	h.Invalidations++
+	h.cores[core].invalidate(h.cfg.SetIndex(line), line)
+}
+
+// evictFrom updates directory state after core silently evicted line.
+func (h *Hierarchy) evictFrom(core int, line mem.Addr) {
+	h.Evictions++
+	e := h.dir[line]
+	if e == nil {
+		return
+	}
+	if e.owner == core {
+		e.owner = -1
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.owner < 0 && e.sharers == 0 {
+		delete(h.dir, line)
+	}
+}
+
+// Holds reports whether core currently caches the line containing a.
+// Used by tests and by the machine's lock-spin fast path.
+func (h *Hierarchy) Holds(core int, a mem.Addr) bool {
+	line := a.Line()
+	return h.cores[core].lookup(h.cfg.SetIndex(line), line) != nil
+}

@@ -1,0 +1,48 @@
+package cct
+
+import (
+	"fmt"
+	"testing"
+
+	"txsampler/internal/lbr"
+)
+
+func BenchmarkPathLookup(b *testing.B) {
+	tr := NewTree[int]()
+	frames := []lbr.IP{{Fn: "main"}, {Fn: "a"}, {Fn: "b"}, {Fn: "c", Site: "42"}}
+	tr.Path(frames)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Path(frames)
+	}
+}
+
+func BenchmarkInTxPathReconstruction(b *testing.B) {
+	snapshot := []lbr.Entry{{Kind: lbr.KindAbort, Abort: true, InTSX: true}}
+	for i := 0; i < 12; i++ {
+		snapshot = append(snapshot, lbr.Entry{
+			Kind: lbr.KindCall, From: lbr.IP{Fn: fmt.Sprint(i)}, To: lbr.IP{Fn: fmt.Sprint(i + 1)}, InTSX: true,
+		})
+	}
+	snapshot = append(snapshot, lbr.Entry{Kind: lbr.KindCall, From: lbr.IP{Fn: "main"}, To: lbr.IP{Fn: "0"}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		InTxPath(snapshot)
+	}
+}
+
+func BenchmarkMergeWideTrees(b *testing.B) {
+	build := func() *Tree[int] {
+		tr := NewTree[int]()
+		for i := 0; i < 200; i++ {
+			tr.Path([]lbr.IP{{Fn: fmt.Sprint(i % 20)}, {Fn: fmt.Sprint(i)}}).Data = i
+		}
+		return tr
+	}
+	src := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := build()
+		dst.Merge(src, func(d, s *int) { *d += *s })
+	}
+}

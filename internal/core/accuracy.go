@@ -1,0 +1,122 @@
+package core
+
+import (
+	"txsampler/internal/lbr"
+	"txsampler/internal/machine"
+)
+
+// Accuracy quantifies the paper's §9 comparison against conventional
+// PMU profilers (Perf/VTune): a tool without the LBR abort-bit check
+// and the in-transaction path reconstruction attributes every
+// in-transaction sample to the rolled-back stack — the transaction
+// begin — losing the context below it and misclassifying the sample's
+// path. The probe evaluates both attributions against the machine's
+// hidden ground truth on every sample.
+type Accuracy struct {
+	// Total samples observed; InTx counts those that executed inside
+	// a transaction (per ground truth).
+	Total, InTx uint64
+
+	// TxSamplerCorrect counts in-transaction samples whose
+	// reconstructed context (stack + begin_in_tx + LBR suffix)
+	// matches the true frame path; NaiveCorrect counts those where
+	// the bare unwound stack alone matches it — what a conventional
+	// profiler reports.
+	TxSamplerCorrect, NaiveCorrect uint64
+
+	// PathDetected counts in-transaction samples the LBR abort bit
+	// identified as transactional; a conventional profiler detects
+	// none of them (it cannot distinguish transaction from fallback
+	// path, Challenge I).
+	PathDetected uint64
+}
+
+// AccuracyProbe wraps a collector, scoring attribution accuracy while
+// forwarding every sample. Install with machine.SetHandler.
+type AccuracyProbe struct {
+	Collector *Collector
+	Accuracy  Accuracy
+}
+
+// NewAccuracyProbe wraps c.
+func NewAccuracyProbe(c *Collector) *AccuracyProbe {
+	return &AccuracyProbe{Collector: c}
+}
+
+// HandleSample implements machine.SampleHandler.
+func (p *AccuracyProbe) HandleSample(s *machine.Sample) {
+	p.Accuracy.Total++
+	if s.TruthInTx {
+		p.Accuracy.InTx++
+		frames, inTx, _ := p.Collector.context(s)
+		if inTx {
+			p.Accuracy.PathDetected++
+		}
+		if matchesTruth(frames, s) {
+			p.Accuracy.TxSamplerCorrect++
+		}
+		if naiveMatchesTruth(s) {
+			p.Accuracy.NaiveCorrect++
+		}
+	}
+	p.Collector.HandleSample(s)
+}
+
+// matchesTruth compares a reconstructed context with the ground-truth
+// stack by function path, ignoring the begin_in_tx pseudo-frame and
+// collapsing the statement-level leaf refinement.
+func matchesTruth(frames []lbr.IP, s *machine.Sample) bool {
+	got := collapseFns(frames, true)
+	want := collapseFnsTruth(s)
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// naiveMatchesTruth checks whether the bare unwound stack (all a
+// conventional profiler has after the abort rolled the stack back)
+// recovers the true context.
+func naiveMatchesTruth(s *machine.Sample) bool {
+	got := collapseFns(s.Stack, false)
+	want := collapseFnsTruth(s)
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func collapseFns(frames []lbr.IP, skipPseudo bool) []string {
+	var out []string
+	for _, f := range frames {
+		if skipPseudo && f.Fn == BeginInTx.Fn {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == f.Fn {
+			continue
+		}
+		out = append(out, f.Fn)
+	}
+	return out
+}
+
+func collapseFnsTruth(s *machine.Sample) []string {
+	var out []string
+	for _, f := range s.TruthStack {
+		if len(out) > 0 && out[len(out)-1] == f.Fn {
+			continue
+		}
+		out = append(out, f.Fn)
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+// Package htm implements the hardware transactional memory engine of
+// the simulated machine, modelled on Intel TSX's Restricted
+// Transactional Memory (RTM).
+//
+// Like TSX, the engine detects conflicts at cache-line granularity
+// through the coherence protocol with a requester-wins policy: when a
+// core's access needs a line another transaction is tracking in a
+// conflicting mode, the *tracking* transaction aborts (it is the one
+// that receives the invalidation). Transactional stores are buffered
+// and become visible only at commit. A transaction whose write set
+// overflows an L1 set, or whose read set exceeds the read-tracking
+// capacity, suffers a capacity abort. Unfriendly instructions (system
+// calls, page faults) cause synchronous aborts, and PMU interrupts
+// cause interrupt aborts — the machine layer reports those through
+// Doom.
+package htm
+
+import (
+	"fmt"
+
+	"txsampler/internal/mem"
+)
+
+// Cause identifies why a transaction aborted. The zero value means the
+// transaction has not aborted.
+type Cause uint8
+
+const (
+	// None: no abort.
+	None Cause = iota
+	// Conflict: another core's memory access conflicted with this
+	// transaction's read or write set (asynchronous abort).
+	Conflict
+	// Capacity: the transactional footprint exceeded the hardware's
+	// tracking capacity (asynchronous abort).
+	Capacity
+	// Sync: an unfriendly instruction (system call, page fault, ...)
+	// executed inside the transaction (synchronous abort).
+	Sync
+	// Explicit: the program executed XABORT.
+	Explicit
+	// Interrupt: a PMU counter overflow interrupt landed while the
+	// transaction was running. These aborts are induced by the
+	// profiler itself and are reported separately from application
+	// aborts (paper §3.1).
+	Interrupt
+
+	// NumCauses is the number of defined abort causes (including
+	// None), for metric arrays indexed by Cause.
+	NumCauses = iota
+)
+
+func (c Cause) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Conflict:
+		return "conflict"
+	case Capacity:
+		return "capacity"
+	case Sync:
+		return "sync"
+	case Explicit:
+		return "explicit"
+	case Interrupt:
+		return "interrupt"
+	}
+	return "unknown"
+}
+
+// TSX EAX status bits, as the XBEGIN fallback path receives them
+// (Intel SDM Vol. 1, RTM status register).
+const (
+	// StatusExplicit: the abort came from XABORT.
+	StatusExplicit uint32 = 1 << 0
+	// StatusRetry: the hardware hints the transaction may succeed on
+	// retry.
+	StatusRetry uint32 = 1 << 1
+	// StatusConflict: another logical processor conflicted.
+	StatusConflict uint32 = 1 << 2
+	// StatusCapacity: an internal buffer overflowed.
+	StatusCapacity uint32 = 1 << 3
+	// StatusDebug: a debug breakpoint was hit (unused here).
+	StatusDebug uint32 = 1 << 4
+	// StatusNested: the abort occurred in a nested transaction
+	// (unused: the RTM layer flattens nesting).
+	StatusNested uint32 = 1 << 5
+)
+
+// TSXStatus encodes the cause as the EAX status word the fallback
+// path of a real XBEGIN receives. Synchronous and interrupt aborts
+// report a zero status, exactly as unfriendly instructions and
+// asynchronous events do on hardware.
+func (c Cause) TSXStatus() uint32 {
+	switch c {
+	case Conflict:
+		return StatusConflict | StatusRetry
+	case Capacity:
+		return StatusCapacity
+	case Explicit:
+		return StatusExplicit
+	default:
+		return 0
+	}
+}
+
+// CauseFromStatus decodes an EAX status word back to a cause; a zero
+// status is indistinguishable between sync aborts and interrupts, as
+// on hardware, and decodes to Sync.
+func CauseFromStatus(s uint32) Cause {
+	switch {
+	case s&StatusExplicit != 0:
+		return Explicit
+	case s&StatusConflict != 0:
+		return Conflict
+	case s&StatusCapacity != 0:
+		return Capacity
+	default:
+		return Sync
+	}
+}
+
+// Retryable reports whether an abort with this cause may succeed if the
+// transaction is simply retried, mirroring the TSX "retry" status bit:
+// conflicts and interrupt-induced aborts are transient; capacity,
+// synchronous, and explicit aborts are persistent.
+func (c Cause) Retryable() bool { return c == Conflict || c == Interrupt }
+
+// Config sizes the transactional tracking structures.
+type Config struct {
+	// Sets and Ways give the per-core L1 geometry used to track the
+	// write set: a transaction aborts when the distinct write-set
+	// lines mapping to one set exceed Ways.
+	Sets, Ways int
+	// MaxReadLines bounds the total read-set size (reads are tracked
+	// in a larger secondary structure on real hardware). Zero means
+	// 4096 lines (a 256 KiB L2 worth).
+	MaxReadLines int
+}
+
+func (c Config) maxRead() int {
+	if c.MaxReadLines > 0 {
+		return c.MaxReadLines
+	}
+	return 4096
+}
+
+// CapacityKind records which set overflowed on a capacity abort.
+type CapacityKind uint8
+
+const (
+	// CapacityNone: not a capacity abort.
+	CapacityNone CapacityKind = iota
+	// CapacityRead: the read set overflowed.
+	CapacityRead
+	// CapacityWrite: the write set overflowed an L1 set.
+	CapacityWrite
+)
+
+func (k CapacityKind) String() string {
+	switch k {
+	case CapacityRead:
+		return "read"
+	case CapacityWrite:
+		return "write"
+	default:
+		return "none"
+	}
+}
+
+// Tx is one hardware transaction attempt. Fields are read-only for
+// callers; the engine mutates them.
+type Tx struct {
+	ID  uint64
+	TID int // simulated thread owning the transaction
+
+	Doomed     bool
+	AbortCause Cause
+	CapKind    CapacityKind
+	// ConflictLine is the line whose access triggered a conflict
+	// abort, and AbortedBy the thread that issued it (-1 otherwise).
+	// AbortedByTx distinguishes conflicts with another transaction
+	// from conflicts with non-transactional code (e.g. the fallback
+	// lock acquisition) — the finer cause granularity POWER8 exposes
+	// and Intel does not (paper §10).
+	ConflictLine mem.Addr
+	AbortedBy    int
+	AbortedByTx  bool
+
+	StartCycle uint64 // thread clock at XBEGIN, for abort-weight accounting
+
+	readSet  map[mem.Addr]struct{}
+	writeSet map[mem.Addr]struct{}
+	occBySet []uint16 // distinct tracked lines (read or write) per L1 set
+	writeBuf map[mem.Addr]mem.Word
+}
+
+// ReadSetLines and WriteSetLines report the current footprint.
+func (t *Tx) ReadSetLines() int  { return len(t.readSet) }
+func (t *Tx) WriteSetLines() int { return len(t.writeSet) }
+
+// Engine tracks all in-flight transactions on the machine.
+type Engine struct {
+	cfg    Config
+	nextID uint64
+
+	// readers maps a line to the transactions tracking it in their
+	// read set; writers maps a line to the single transaction holding
+	// it in its write set. Doomed transactions are removed eagerly,
+	// as hardware stops tracking an aborted transaction's lines.
+	readers map[mem.Addr]map[*Tx]struct{}
+	writers map[mem.Addr]*Tx
+
+	// Stats.
+	Commits uint64
+	Aborts  map[Cause]uint64
+}
+
+// NewEngine returns an engine for the given tracking geometry.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("htm: invalid geometry sets=%d ways=%d", cfg.Sets, cfg.Ways))
+	}
+	return &Engine{
+		cfg:     cfg,
+		readers: make(map[mem.Addr]map[*Tx]struct{}),
+		writers: make(map[mem.Addr]*Tx),
+		Aborts:  make(map[Cause]uint64),
+	}
+}
+
+// Begin starts a transaction for thread tid whose clock reads
+// startCycle.
+func (e *Engine) Begin(tid int, startCycle uint64) *Tx {
+	e.nextID++
+	return &Tx{
+		ID:         e.nextID,
+		TID:        tid,
+		AbortedBy:  -1,
+		StartCycle: startCycle,
+		readSet:    make(map[mem.Addr]struct{}),
+		writeSet:   make(map[mem.Addr]struct{}),
+		occBySet:   make([]uint16, e.cfg.Sets),
+		writeBuf:   make(map[mem.Addr]mem.Word),
+	}
+}
+
+// Doom marks tx aborted with the given cause and untracks its lines.
+// byTID identifies the conflicting thread for conflict aborts; pass -1
+// otherwise. Doom on an already-doomed transaction is a no-op so the
+// first cause wins.
+func (e *Engine) Doom(tx *Tx, cause Cause, byTID int, line mem.Addr) {
+	e.doom(tx, cause, byTID, line, false)
+}
+
+func (e *Engine) doom(tx *Tx, cause Cause, byTID int, line mem.Addr, byTx bool) {
+	if tx.Doomed {
+		return
+	}
+	tx.Doomed = true
+	tx.AbortCause = cause
+	tx.AbortedBy = byTID
+	tx.AbortedByTx = byTx
+	tx.ConflictLine = line
+	e.Aborts[cause]++
+	e.untrack(tx)
+}
+
+func (e *Engine) untrack(tx *Tx) {
+	for line := range tx.readSet {
+		if rs := e.readers[line]; rs != nil {
+			delete(rs, tx)
+			if len(rs) == 0 {
+				delete(e.readers, line)
+			}
+		}
+	}
+	for line := range tx.writeSet {
+		if e.writers[line] == tx {
+			delete(e.writers, line)
+		}
+	}
+}
+
+// Read performs a transactional load of the word at a. It returns the
+// loaded value's source: ok=false means the value must come from
+// memory; ok=true returns the transaction's own buffered store. Side
+// effects: the line joins the read set (aborting a conflicting remote
+// writer, requester-wins), and the transaction may doom itself with a
+// capacity abort. Callers must check tx.Doomed afterwards.
+func (e *Engine) Read(tx *Tx, a mem.Addr) (v mem.Word, ok bool) {
+	if tx.Doomed {
+		return 0, false
+	}
+	if v, ok := tx.writeBuf[a]; ok {
+		return v, true
+	}
+	line := a.Line()
+	// Requester wins: a remote transaction holding the line in its
+	// write set receives our share request and aborts.
+	if w := e.writers[line]; w != nil && w != tx {
+		e.doom(w, Conflict, tx.TID, line, true)
+	}
+	if _, tracked := tx.readSet[line]; !tracked {
+		if len(tx.readSet) >= e.cfg.maxRead() {
+			tx.CapKind = CapacityRead
+			e.Doom(tx, Capacity, -1, line)
+			return 0, false
+		}
+		// Both read and write sets are tracked in the L1: a set whose
+		// tracked lines exceed the associativity cannot hold the
+		// footprint, and the transaction aborts (TSX read-set
+		// evictions behave this way on the modelled parts).
+		if _, written := tx.writeSet[line]; !written {
+			set := int(line.LineIndex() % uint64(e.cfg.Sets))
+			if int(tx.occBySet[set]) >= e.cfg.Ways {
+				tx.CapKind = CapacityRead
+				e.Doom(tx, Capacity, -1, line)
+				return 0, false
+			}
+			tx.occBySet[set]++
+		}
+		tx.readSet[line] = struct{}{}
+		rs := e.readers[line]
+		if rs == nil {
+			rs = make(map[*Tx]struct{})
+			e.readers[line] = rs
+		}
+		rs[tx] = struct{}{}
+	}
+	return 0, false
+}
+
+// Write performs a transactional store, buffering the value. Remote
+// transactions tracking the line in read or write sets abort
+// (requester-wins). The transaction may doom itself with a capacity
+// abort if the write set overflows its L1 set. Callers must check
+// tx.Doomed afterwards.
+func (e *Engine) Write(tx *Tx, a mem.Addr, v mem.Word) {
+	if tx.Doomed {
+		return
+	}
+	line := a.Line()
+	if w := e.writers[line]; w != nil && w != tx {
+		e.doom(w, Conflict, tx.TID, line, true)
+	}
+	for r := range e.readers[line] {
+		if r != tx {
+			e.doom(r, Conflict, tx.TID, line, true)
+		}
+	}
+	if _, tracked := tx.writeSet[line]; !tracked {
+		// A line already in the read set is already tracked in its L1
+		// set; only new lines consume a way.
+		if _, read := tx.readSet[line]; !read {
+			set := int(line.LineIndex() % uint64(e.cfg.Sets))
+			if int(tx.occBySet[set]) >= e.cfg.Ways {
+				tx.CapKind = CapacityWrite
+				e.Doom(tx, Capacity, -1, line)
+				return
+			}
+			tx.occBySet[set]++
+		}
+		tx.writeSet[line] = struct{}{}
+		e.writers[line] = tx
+	}
+	tx.writeBuf[a] = v
+}
+
+// NonTxAccess notifies the engine of a non-transactional access by
+// thread tid, aborting any transactions that conflict with it. A
+// non-transactional write conflicts with remote read and write sets; a
+// non-transactional read conflicts with remote write sets.
+func (e *Engine) NonTxAccess(tid int, a mem.Addr, write bool) {
+	line := a.Line()
+	if w := e.writers[line]; w != nil && w.TID != tid {
+		e.Doom(w, Conflict, tid, line)
+	}
+	if write {
+		for r := range e.readers[line] {
+			if r.TID != tid {
+				e.Doom(r, Conflict, tid, line)
+			}
+		}
+	}
+}
+
+// Commit attempts to commit tx. On success it returns the buffered
+// stores for the machine to apply to memory and records the commit; if
+// the transaction was doomed it returns nil and false.
+func (e *Engine) Commit(tx *Tx) (stores map[mem.Addr]mem.Word, ok bool) {
+	if tx.Doomed {
+		return nil, false
+	}
+	e.untrack(tx)
+	e.Commits++
+	return tx.writeBuf, true
+}
+
+// InFlight reports how many lines are globally tracked; used by tests
+// to verify no leaks after commits and aborts.
+func (e *Engine) InFlight() (readLines, writeLines int) {
+	return len(e.readers), len(e.writers)
+}

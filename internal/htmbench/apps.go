@@ -1,0 +1,490 @@
+package htmbench
+
+import (
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+// Application workloads, including the paper's LevelDB (§8.2) and AVL
+// tree (Table 2) case studies.
+
+func init() {
+	registerLevelDB()
+	registerAVLTree()
+	registerBPlusTree()
+	registerKyotoCabinet()
+	registerMemcached()
+	registerBerkeleyDB()
+	registerQuakeTM()
+	registerPBZip2()
+	registerNufft()
+	registerRMSTM()
+	registerLeeTM()
+	registerSSCA2()
+}
+
+// leveldb models db_bench's ReadRandom (§8.2): every Get() increments
+// the reference counts of three shared objects in one transaction at
+// entry, reads, then decrements them in a second transaction at exit.
+// The shared counters make the abort/commit ratio explode (2.8 in the
+// paper). The optimized variant splits the transactions so each only
+// covers one counter update (ratio 0.38, ReadRandom 2.06x).
+func registerLevelDB() {
+	build := func(split bool) func(ctx *Ctx) *Instance {
+		return func(ctx *Ctx) *Instance {
+			refs := newPadded(ctx.M, 3) // memtable, immutable memtable, version
+			table := newBST(ctx.M, ctx.Threads, 220)
+			// Preload keys.
+			for i, k := range []uint64{500, 250, 750, 125, 375, 625, 875, 60, 180, 310, 440, 560, 690, 810, 940} {
+				slot := table.root
+				for {
+					cur := mem.Addr(ctx.M.Mem.Load(slot))
+					if cur == 0 {
+						n := table.pool.allocHost(ctx.M, 0)
+						ctx.M.Mem.Store(fieldAddr(n, fKey), k)
+						ctx.M.Mem.Store(fieldAddr(n, fVal), uint64(i))
+						ctx.M.Mem.Store(slot, mem.Word(n))
+						break
+					}
+					if k < ctx.M.Mem.Load(fieldAddr(cur, fKey)) {
+						slot = fieldAddr(cur, fLeft)
+					} else {
+						slot = fieldAddr(cur, fRight)
+					}
+				}
+			}
+			const gets = 55
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < gets; i++ {
+						t.Func("ReadRandom", func() {
+							t.Func("Get", func() {
+								if split {
+									for r := 0; r < 3; r++ {
+										ctx.Lock.Run(t, func() {
+											t.At("Ref")
+											t.Add(refs.at(r), 1)
+										})
+									}
+								} else {
+									ctx.Lock.Run(t, func() {
+										t.At("Ref")
+										for r := 0; r < 3; r++ {
+											t.Add(refs.at(r), 1)
+										}
+										t.Compute(20) // snapshot setup inside the same tx
+									})
+								}
+								key := uint64(t.Rand().Intn(1000))
+								table.lookup(t, key) // the read itself is lock-free
+								t.Compute(12000)     // decode block, checksum, copy value
+								if split {
+									for r := 0; r < 3; r++ {
+										ctx.Lock.Run(t, func() {
+											t.At("Unref")
+											t.Add(refs.at(r), -1)
+										})
+									}
+								} else {
+									ctx.Lock.Run(t, func() {
+										t.At("Unref")
+										for r := 0; r < 3; r++ {
+											t.Add(refs.at(r), -1)
+										}
+										t.Compute(20)
+									})
+								}
+							})
+						})
+					}
+				}),
+			}
+		}
+	}
+	Register(&Workload{
+		Name: "app/leveldb", Suite: "app",
+		Desc:     "ReadRandom Gets bracketed by shared ref-count transactions: abort/commit ~ 2.8 (§8.2)",
+		Expected: analyzer.TypeIII,
+		Build:    build(false),
+	})
+	Register(&Workload{
+		Name: "app/leveldb-opt", Suite: "opt",
+		Desc:  "LevelDB with the bracketing transactions split to bare ref-count updates (Table 2, §8.2)",
+		Build: build(true),
+	})
+}
+
+// avltree: a read-dominated search tree. The baseline takes the global
+// lock even for lookups, so readers serialize (high T_wait); the
+// optimized variant elides the read lock with HTM (Table 2, 1.21x).
+func registerAVLTree() {
+	buildTree := func(ctx *Ctx) *bst {
+		tree := newBST(ctx.M, ctx.Threads, 260)
+		for _, k := range []uint64{400, 200, 600, 100, 300, 500, 700, 50, 150, 250, 350, 450, 550, 650, 750} {
+			slot := tree.root
+			for {
+				cur := mem.Addr(ctx.M.Mem.Load(slot))
+				if cur == 0 {
+					n := tree.pool.allocHost(ctx.M, 0)
+					ctx.M.Mem.Store(fieldAddr(n, fKey), k)
+					ctx.M.Mem.Store(slot, mem.Word(n))
+					break
+				}
+				if k < ctx.M.Mem.Load(fieldAddr(cur, fKey)) {
+					slot = fieldAddr(cur, fLeft)
+				} else {
+					slot = fieldAddr(cur, fRight)
+				}
+			}
+		}
+		return tree
+	}
+	const ops = 60
+	body := func(ctx *Ctx, tree *bst, elideReadLock bool) func(*machine.Thread) {
+		return func(t *machine.Thread) {
+			for i := 0; i < ops; i++ {
+				key := uint64(t.Rand().Intn(800))
+				write := t.Rand().Intn(100) < 10
+				switch {
+				case write:
+					ctx.Lock.Run(t, func() { tree.insert(t, key, key) })
+				case elideReadLock:
+					ctx.Lock.Run(t, func() { tree.lookup(t, key) })
+				default:
+					// Baseline: lookups acquire the lock outright.
+					ctx.Lock.RunLocked(t, func() { tree.lookup(t, key) })
+				}
+				t.Compute(2800)
+			}
+		}
+	}
+	Register(&Workload{
+		Name: "app/avltree", Suite: "app",
+		Desc:     "search tree whose readers acquire the global lock: lookups serialize (high T_wait)",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			tree := buildTree(ctx)
+			return &Instance{Bodies: sameBodies(ctx.Threads, body(ctx, tree, false))}
+		},
+	})
+	Register(&Workload{
+		Name: "app/avltree-opt", Suite: "opt",
+		Desc: "AVL tree with the read lock elided into transactions (Table 2, 1.21x)",
+		Build: func(ctx *Ctx) *Instance {
+			tree := buildTree(ctx)
+			return &Instance{Bodies: sameBodies(ctx.Threads, body(ctx, tree, true))}
+		},
+	})
+}
+
+func registerBPlusTree() {
+	Register(&Workload{
+		Name: "app/bplustree", Suite: "app",
+		Desc:     "B+ tree style index: transactional descents with update traffic near the root",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			tree := newBST(ctx.M, ctx.Threads, 300)
+			const ops = 100
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < ops; i++ {
+						key := uint64(t.Rand().Intn(40))
+						if t.Rand().Intn(100) < 55 {
+							ctx.Lock.Run(t, func() { tree.insert(t, key, key) })
+						} else {
+							ctx.Lock.Run(t, func() { tree.lookup(t, key) })
+						}
+						t.Compute(350)
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerKyotoCabinet() {
+	Register(&Workload{
+		Name: "app/kyotocabinet", Suite: "app",
+		Desc:     "DBM-style hash store: bucket updates plus a hot global record counter",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			table := newHashTable(ctx.M, ctx.Threads, 128, 160, false, func(k uint64) int { return int(k % 128) })
+			count := ctx.M.Mem.AllocLines(1)
+			const ops = 90
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < ops; i++ {
+						key := uint64(t.Rand().Intn(900))
+						ctx.Lock.Run(t, func() {
+							if _, found := table.search(t, key); !found {
+								table.insert(t, key, key)
+								t.At("record_count")
+								t.Add(count, 1)
+							}
+						})
+						t.Compute(500)
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerMemcached() {
+	Register(&Workload{
+		Name: "app/memcached", Suite: "app",
+		Desc:     "slab cache gets/sets: wide hash, short critical sections, mostly parallel",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			slots := newPadded(ctx.M, 512)
+			const ops = 130
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < ops; i++ {
+						s := t.Rand().Intn(512)
+						t.Func("process_command", func() {
+							t.Compute(320) // parse + hash
+							ctx.Lock.Run(t, func() {
+								t.At("item_touch")
+								t.Add(slots.at(s), 1)
+								t.Compute(12)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerBerkeleyDB() {
+	Register(&Workload{
+		Name: "app/berkeleydb", Suite: "app",
+		Desc:     "page-cache pin/unpin over many pages: hot CS, low conflict probability",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			pages := newPadded(ctx.M, 384)
+			const ops = 120
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < ops; i++ {
+						p := t.Rand().Intn(384)
+						ctx.Lock.Run(t, func() {
+							t.At("page_pin")
+							t.Add(pages.at(p), 1)
+							t.Compute(20)
+						})
+						t.Compute(280)
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerQuakeTM() {
+	Register(&Workload{
+		Name: "app/quaketm", Suite: "app",
+		Desc:     "game-world frame updates: per-region transactions over a partitioned map",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			regions := newPadded(ctx.M, 256)
+			const frames = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < frames; i++ {
+						t.Func("frame_update", func() {
+							t.Compute(380) // physics
+							r := (t.ID*16 + t.Rand().Intn(20)) % 256
+							ctx.Lock.Run(t, func() {
+								t.At("region_commit")
+								t.Add(regions.at(r), 1)
+								t.Compute(15)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerPBZip2() {
+	Register(&Workload{
+		Name: "app/pbzip2", Suite: "app",
+		Desc:     "parallel compression: heavy per-block work, queue index updates in the CS",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			ticket := ctx.M.Mem.AllocLines(1) // lock-free block dispenser
+			directory := newPadded(ctx.M, 64) // output block directory
+			const blocks = 60
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < blocks; i++ {
+						blk := t.AtomicAdd(ticket, 1) // as pbzip2's atomic queue index
+						t.Compute(900)                // compress the block
+						ctx.Lock.Run(t, func() {
+							t.At("directory_insert")
+							t.Add(directory.at(int(blk)%64), 1)
+							t.Compute(150)
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerNufft() {
+	Register(&Workload{
+		Name: "bart/nufft", Suite: "app",
+		Desc:     "non-uniform FFT gridding: long compute, scattered grid accumulation in the CS",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			grid := newPadded(ctx.M, 512)
+			const samples = 100
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < samples; i++ {
+						t.Func("grid_sample", func() {
+							t.Compute(550) // kernel evaluation
+							g := t.Rand().Intn(512)
+							ctx.Lock.Run(t, func() {
+								t.At("grid_accumulate")
+								t.Add(grid.at(g), 1)
+								t.Add(grid.at((g+1)%512), 1)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerRMSTM() {
+	Register(&Workload{
+		Name: "rms/utilitymine", Suite: "rms",
+		Desc:     "utility mining: per-item counters over a wide padded array",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			items := newPadded(ctx.M, 640)
+			const txns = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < txns; i++ {
+						t.Compute(400)
+						ctx.Lock.Run(t, func() {
+							t.At("utility_update")
+							for j := 0; j < 3; j++ {
+								t.Add(items.at(t.Rand().Intn(640)), 1)
+							}
+						})
+					}
+				}),
+			}
+		},
+	})
+	Register(&Workload{
+		Name: "rms/scalparc", Suite: "rms",
+		Desc:     "decision-tree statistics: attribute histogram updates with wide spread",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			stats := newPadded(ctx.M, 448)
+			const records = 120
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < records; i++ {
+						t.Compute(380)
+						ctx.Lock.Run(t, func() {
+							t.At("stat_update")
+							t.Add(stats.at(t.Rand().Intn(448)), 1)
+							t.Compute(10)
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+func registerLeeTM() {
+	Register(&Workload{
+		Name: "lee/lee-tm", Suite: "app",
+		Desc:     "circuit routing: long transactional wavefront reads plus path writes",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			const cells = 2048
+			board := newPadded(ctx.M, cells)
+			const routes = 40
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < routes; i++ {
+						t.Func("lay_track", func() {
+							start := t.Rand().Intn(cells)
+							ctx.Lock.Run(t, func() {
+								t.At("expand_wavefront")
+								for j := 0; j < 22; j++ {
+									t.Load(board.at((start + j*17) % cells))
+								}
+								t.At("backtrack_write")
+								for j := 0; j < 6; j++ {
+									t.Add(board.at((start+j*17)%cells), 1)
+								}
+							})
+							t.Compute(600)
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+// ssca2 (HPCS graph analysis): the paper's Table 2 entry reports high
+// T_tx with the fix "defer transaction" — hoisting the expensive
+// computation out so the transaction only covers the update (1.10x).
+func registerSSCA2() {
+	build := func(deferred bool) func(ctx *Ctx) *Instance {
+		return func(ctx *Ctx) *Instance {
+			const vertices = 24
+			bc := newPadded(ctx.M, vertices)
+			const relaxations = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < relaxations; i++ {
+						t.Func("relax_edge", func() {
+							v := t.Rand().Intn(vertices)
+							if deferred {
+								t.Compute(500) // score computed outside
+								ctx.Lock.Run(t, func() {
+									t.At("bc_update")
+									t.Add(bc.at(v), 1)
+								})
+							} else {
+								ctx.Lock.Run(t, func() {
+									t.At("bc_compute")
+									t.Compute(500) // heavy work inside the tx
+									t.At("bc_update")
+									t.Add(bc.at(v), 1)
+								})
+							}
+						})
+					}
+				}),
+			}
+		}
+	}
+	Register(&Workload{
+		Name: "hpcs/ssca2", Suite: "hpcs",
+		Desc:     "betweenness updates with the scoring computation inside the transaction (high T_tx)",
+		Expected: analyzer.TypeII,
+		Build:    build(false),
+	})
+	Register(&Workload{
+		Name: "hpcs/ssca2-opt", Suite: "opt",
+		Desc:  "ssca2 with the computation deferred out of the transaction (Table 2, 1.10x)",
+		Build: build(true),
+	})
+}

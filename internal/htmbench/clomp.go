@@ -1,0 +1,161 @@
+package htmbench
+
+import (
+	"fmt"
+
+	"txsampler/internal/machine"
+)
+
+// CLOMP-TM (paper §7.2, Table 1, Figure 7): a controlled benchmark
+// that deposits values into "zones" under two transaction-size
+// configurations and three scatter modes:
+//
+//	input 1 Adjacent:   each thread updates its own contiguous zones —
+//	                    rare conflicts, prefetch friendly;
+//	input 2 FirstParts: all threads hammer the same leading zones —
+//	                    high conflicts;
+//	input 3 Random:     random zones across a large array — rare
+//	                    conflicts but a large, cache-unfriendly
+//	                    footprint.
+//
+// "small" wraps every zone update in its own transaction; "large"
+// coalesces zonesPerTx updates into one.
+
+// ScatterMode selects the CLOMP-TM input (Table 1).
+type ScatterMode int
+
+const (
+	// Adjacent: thread-contiguous zones.
+	Adjacent ScatterMode = iota + 1
+	// FirstParts: all threads start at the same zones.
+	FirstParts
+	// Random: random zone per update.
+	Random
+)
+
+func (s ScatterMode) String() string {
+	switch s {
+	case Adjacent:
+		return "Adjacent"
+	case FirstParts:
+		return "FirstParts"
+	case Random:
+		return "Random"
+	}
+	return "?"
+}
+
+// ClompConfig parameterizes one CLOMP-TM run.
+type ClompConfig struct {
+	Scatter    ScatterMode
+	ZonesPerTx int // 1 = small transactions; >1 = large
+}
+
+const (
+	clompZones     = 1 << 20 // zone array size (lines)
+	clompDeposits  = 480     // zone updates per thread
+	clompLargeSize = 16      // zones per large transaction
+)
+
+func buildClomp(cfg ClompConfig) func(ctx *Ctx) *Instance {
+	return func(ctx *Ctx) *Instance {
+		zones := newPadded(ctx.M, clompZones)
+		// zoneFor picks the target zone for a thread's i'th update.
+		zoneFor := func(t *machine.Thread, i int) int {
+			switch cfg.Scatter {
+			case Adjacent:
+				span := clompZones / ctx.Threads
+				return t.ID*span + i%span
+			case FirstParts:
+				return i % 24 // everyone shares the same two dozen zones
+			default: // Random
+				return t.Rand().Intn(clompZones)
+			}
+		}
+		return &Instance{
+			Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+				deposits := 0
+				for deposits < clompDeposits {
+					n := cfg.ZonesPerTx
+					if n > clompDeposits-deposits {
+						n = clompDeposits - deposits
+					}
+					start := deposits
+					ctx.Lock.Run(t, func() {
+						t.At("deposit")
+						for j := 0; j < n; j++ {
+							z := zoneFor(t, start+j)
+							if cfg.Scatter == Random {
+								// Prefetch-unfriendly gather: input 3
+								// walks a column of the zone matrix.
+								// The column stride aliases L1 sets, so
+								// scattered footprints hit the cache's
+								// tracking capacity, as on hardware.
+								t.At("gather")
+								stride := ctx.M.Config().Cache.Sets
+								t.Load(zones.at((z + stride) % clompZones))
+								t.At("deposit")
+							}
+							t.Add(zones.at(z), 1)
+						}
+					})
+					deposits += n
+					t.Compute(60 * n)
+				}
+			}),
+			Check: func(m *machine.Machine) error {
+				var total uint64
+				for z := 0; z < clompZones; z++ {
+					total += m.Mem.Load(zones.at(z))
+				}
+				want := uint64(clompDeposits * ctx.Threads)
+				if total != want {
+					return fmt.Errorf("clomp deposits = %d, want %d", total, want)
+				}
+				return nil
+			},
+		}
+	}
+}
+
+// ClompName returns the registered name for a configuration, e.g.
+// "clomp/small-2".
+func ClompName(cfg ClompConfig) string {
+	size := "small"
+	if cfg.ZonesPerTx > 1 {
+		size = "large"
+	}
+	return fmt.Sprintf("clomp/%s-%d", size, int(cfg.Scatter))
+}
+
+// ClompConfigs lists the six paper configurations in Figure 7's order.
+func ClompConfigs() []ClompConfig {
+	var out []ClompConfig
+	for _, size := range []int{1, clompLargeSize} {
+		for _, s := range []ScatterMode{Adjacent, FirstParts, Random} {
+			out = append(out, ClompConfig{Scatter: s, ZonesPerTx: size})
+		}
+	}
+	return out
+}
+
+func init() {
+	descs := map[ScatterMode]string{
+		Adjacent:   "rare conflicts, cache prefetch friendly",
+		FirstParts: "high conflicts, cache prefetch friendly",
+		Random:     "rare conflicts, cache prefetch unfriendly",
+	}
+	for _, cfg := range ClompConfigs() {
+		cfg := cfg
+		size := "small transactions"
+		if cfg.ZonesPerTx > 1 {
+			size = "large transactions"
+		}
+		Register(&Workload{
+			Name:  ClompName(cfg),
+			Suite: "clomp",
+			Desc:  fmt.Sprintf("CLOMP-TM %s, input %d (%s): %s", size, int(cfg.Scatter), cfg.Scatter, descs[cfg.Scatter]),
+			Build: buildClomp(cfg),
+		})
+	}
+}

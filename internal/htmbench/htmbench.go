@@ -1,0 +1,125 @@
+// Package htmbench is the HTMBench suite: 30+ simulated HTM programs
+// modelled on the benchmarks the paper evaluates (STAMP, PARSEC,
+// SPLASH2, Parboil, NPB, Synchrobench, CLOMP-TM, and several
+// applications), plus the optimized variants of Table 2. Each workload
+// is a kernel that reproduces its original's documented
+// critical-section character — transaction size, footprint, contention
+// pattern, and unfriendly instructions — on the simulated machine, so
+// the profiler observes the same pathologies the paper reports.
+package htmbench
+
+import (
+	"fmt"
+	"sort"
+
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+	"txsampler/internal/rtm"
+)
+
+// Ctx is the environment a workload builds its instance in.
+type Ctx struct {
+	M       *machine.Machine
+	Threads int
+	// Lock is the default elided global lock guarding the workload's
+	// critical sections; workloads may allocate additional locks.
+	Lock *rtm.Lock
+}
+
+// Instance is a built, runnable workload.
+type Instance struct {
+	// Bodies holds one entry per thread.
+	Bodies []func(*machine.Thread)
+	// Check validates the computation's result after the run; nil
+	// means nothing to validate.
+	Check func(m *machine.Machine) error
+	// Lock is the workload's elided global lock (the ctx.Lock the
+	// Build function received), exposed so instrumentation-based
+	// tools can attach an event sink to it.
+	Lock *rtm.Lock
+}
+
+// Workload is one registered HTMBench program.
+type Workload struct {
+	Name  string
+	Suite string
+	Desc  string
+	// DefaultThreads used when the caller passes 0. Most programs use
+	// the paper's 14.
+	DefaultThreads int
+	// Expected is the paper's Figure 8 category for the program
+	// (0 when the paper does not place it).
+	Expected analyzer.Category
+	// Build constructs the instance.
+	Build func(ctx *Ctx) *Instance
+}
+
+var registry = map[string]*Workload{}
+
+// Register adds a workload; duplicate names panic (registration is an
+// init-time programming error).
+func Register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("htmbench: duplicate workload %q", w.Name))
+	}
+	if w.DefaultThreads == 0 {
+		w.DefaultThreads = 14
+	}
+	registry[w.Name] = w
+}
+
+// Get returns the named workload.
+func Get(name string) (*Workload, error) {
+	w := registry[name]
+	if w == nil {
+		return nil, fmt.Errorf("htmbench: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all workloads sorted by name.
+func All() []*Workload {
+	names := Names()
+	out := make([]*Workload, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// BySuite returns the workloads of one suite, sorted by name.
+func BySuite(suite string) []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.Suite == suite {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// BuildInstance prepares a machine-bound instance of w. A non-nil
+// policy overrides the default retry policy of the workload's global
+// lock (used by the ablation benchmarks).
+func (w *Workload) BuildInstance(m *machine.Machine, policy *rtm.Policy) *Instance {
+	ctx := &Ctx{M: m, Threads: m.Config().Threads, Lock: rtm.NewLock(m)}
+	if policy != nil {
+		ctx.Lock.Policy = *policy
+	}
+	inst := w.Build(ctx)
+	inst.Lock = ctx.Lock
+	if len(inst.Bodies) != ctx.Threads {
+		panic(fmt.Sprintf("htmbench: %s built %d bodies for %d threads", w.Name, len(inst.Bodies), ctx.Threads))
+	}
+	return inst
+}

@@ -1,0 +1,201 @@
+package htmbench
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"txsampler/internal/cache"
+	"txsampler/internal/htm"
+	"txsampler/internal/machine"
+)
+
+// benchConfig mirrors the root package's scaled benchmark machine.
+func benchConfig(threads int, seed int64) machine.Config {
+	return machine.Config{
+		Threads: threads,
+		Cache:   cache.Config{Sets: 32, Ways: 4, HitLatency: 4, MissLatency: 60, RemoteLatency: 90},
+		Seed:    seed,
+	}
+}
+
+func TestRegistryNamesSortedUnique(t *testing.T) {
+	names := Names()
+	if len(names) < 30 {
+		t.Fatalf("registry has %d workloads, want >= 30 (HTMBench is 'more than 30 programs')", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("Names() not sorted")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no/such-benchmark"); err == nil {
+		t.Fatal("Get of unknown workload succeeded")
+	}
+}
+
+func TestBySuiteCoversAllSuites(t *testing.T) {
+	wantSuites := []string{"micro", "clomp", "stamp", "splash2", "parsec", "parboil", "npb", "synchrobench", "app", "rms", "hpcs", "opt"}
+	for _, s := range wantSuites {
+		if len(BySuite(s)) == 0 {
+			t.Errorf("suite %q is empty", s)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(&Workload{Name: "micro/low-abort"})
+}
+
+func TestDefaultThreadsFourteen(t *testing.T) {
+	for _, w := range All() {
+		if w.DefaultThreads != 14 {
+			t.Errorf("%s: default threads = %d, want 14 (the paper's core count)", w.Name, w.DefaultThreads)
+		}
+	}
+}
+
+// TestAllWorkloadsRunAndValidate builds and runs every registered
+// workload at 4 threads, requiring clean completion and a passing
+// result check where one is defined.
+func TestAllWorkloadsRunAndValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(strings.ReplaceAll(w.Name, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			m := machine.New(benchConfig(4, 7))
+			inst := w.BuildInstance(m, nil)
+			if err := m.Run(inst.Bodies...); err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			if inst.Check != nil {
+				if err := inst.Check(m); err != nil {
+					t.Fatalf("result check failed: %v", err)
+				}
+			}
+			if m.Elapsed() == 0 {
+				t.Fatal("workload did no work")
+			}
+		})
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, name := range []string{"stamp/vacation", "parsec/dedup", "synchro/linkedlist"} {
+		run := func() (uint64, uint64) {
+			w, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := machine.New(benchConfig(6, 42))
+			inst := w.BuildInstance(m, nil)
+			if err := m.Run(inst.Bodies...); err != nil {
+				t.Fatal(err)
+			}
+			return m.Elapsed(), m.GroundTruth().Commits
+		}
+		e1, c1 := run()
+		e2, c2 := run()
+		if e1 != e2 || c1 != c2 {
+			t.Errorf("%s nondeterministic: (%d,%d) vs (%d,%d)", name, e1, c1, e2, c2)
+		}
+	}
+}
+
+func TestClompConfigsComplete(t *testing.T) {
+	cfgs := ClompConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("ClompConfigs = %d entries, want 6", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		name := ClompName(c)
+		if seen[name] {
+			t.Fatalf("duplicate clomp name %s", name)
+		}
+		seen[name] = true
+		if _, err := Get(name); err != nil {
+			t.Errorf("clomp config %s not registered", name)
+		}
+	}
+	if !seen["clomp/small-1"] || !seen["clomp/large-3"] {
+		t.Fatal("expected canonical clomp names missing")
+	}
+}
+
+// TestMicroAbortCharacters verifies the §7.2 microbenchmarks produce
+// their designed abort causes.
+func TestMicroAbortCharacters(t *testing.T) {
+	run := func(name string, threads int) machine.GroundTruth {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.New(benchConfig(threads, 3))
+		inst := w.BuildInstance(m, nil)
+		if err := m.Run(inst.Bodies...); err != nil {
+			t.Fatal(err)
+		}
+		return m.GroundTruth()
+	}
+
+	if g := run("micro/low-abort", 4); g.Aborts[htm.Conflict] > g.Commits/20 {
+		t.Errorf("low-abort: %d conflicts for %d commits", g.Aborts[htm.Conflict], g.Commits)
+	}
+	if g := run("micro/true-sharing", 8); g.Aborts[htm.Conflict] == 0 {
+		t.Error("true-sharing produced no conflict aborts")
+	}
+	if g := run("micro/false-sharing", 8); g.Aborts[htm.Conflict] == 0 {
+		t.Error("false-sharing produced no conflict aborts")
+	}
+	if g := run("micro/sync-abort", 4); g.Aborts[htm.Sync] == 0 {
+		t.Error("sync-abort produced no synchronous aborts")
+	}
+	if g := run("micro/capacity", 2); g.Aborts[htm.Capacity] == 0 {
+		t.Error("capacity produced no capacity aborts")
+	}
+}
+
+// TestOptimizedVariantsWin: each Table 2 pair's optimized variant must
+// beat its baseline even at 8 threads.
+func TestOptimizedVariantsWin(t *testing.T) {
+	pairs := [][2]string{
+		{"parsec/dedup", "parsec/dedup-opt"},
+		{"parsec/netdedup", "parsec/netdedup-opt"},
+		{"parboil/histo-1", "parboil/histo-1-merged"},
+		{"npb/ua", "npb/ua-merged"},
+		{"synchro/linkedlist", "synchro/linkedlist-opt"},
+		{"app/avltree", "app/avltree-opt"},
+	}
+	elapsed := func(name string) uint64 {
+		w, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine.New(benchConfig(8, 1))
+		inst := w.BuildInstance(m, nil)
+		if err := m.Run(inst.Bodies...); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed()
+	}
+	for _, p := range pairs {
+		base, opt := elapsed(p[0]), elapsed(p[1])
+		if opt >= base {
+			t.Errorf("%s (%d) not faster than %s (%d)", p[1], opt, p[0], base)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package htmbench
+
+import (
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+// The micro suite provides the controlled-abort-ratio programs of the
+// paper's correctness evaluation (§7.2): known low/moderate/high abort
+// rates with known causes.
+
+func init() {
+	Register(&Workload{
+		Name:  "micro/low-abort",
+		Suite: "micro",
+		Desc:  "per-thread private counters: transactions almost never abort",
+		Build: func(ctx *Ctx) *Instance {
+			counters := newPadded(ctx.M, ctx.Threads)
+			const iters = 400
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.At("private_update")
+							t.Add(counters.at(t.ID), 1)
+						})
+						t.Compute(40)
+					}
+				}),
+				Check: func(m *machine.Machine) error {
+					for i := 0; i < ctx.Threads; i++ {
+						if err := expectWord(counters.at(i), iters, "counter")(m); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "micro/true-sharing",
+		Suite: "micro",
+		Desc:  "all threads update one word: heavy conflict aborts from true sharing",
+		Build: func(ctx *Ctx) *Instance {
+			shared := ctx.M.Mem.AllocLines(1)
+			const iters = 120
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.At("shared_update")
+							v := t.Load(shared)
+							t.Compute(15)
+							t.Store(shared, v+1)
+						})
+					}
+				}),
+				Check: expectWord(shared, uint64(iters*ctx.Threads), "shared counter"),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "micro/false-sharing",
+		Suite: "micro",
+		Desc:  "threads update distinct words of one cache line: conflicts despite disjoint data",
+		Build: func(ctx *Ctx) *Instance {
+			// One line holds 8 words; map threads onto them.
+			line := ctx.M.Mem.AllocLines(2)
+			slot := func(tid int) mem.Addr { return line.Offset(tid % (2 * mem.WordsPerLine)) }
+			const iters = 120
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.At("falsely_shared_update")
+							v := t.Load(slot(t.ID))
+							t.Compute(15)
+							t.Store(slot(t.ID), v+1)
+						})
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "micro/sync-abort",
+		Suite: "micro",
+		Desc:  "a system call inside every fourth transaction: synchronous aborts",
+		Build: func(ctx *Ctx) *Instance {
+			counters := newPadded(ctx.M, ctx.Threads)
+			const iters = 200
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.At("work")
+							t.Add(counters.at(t.ID), 1)
+							if i%4 == 0 {
+								t.At("log_write")
+								t.Syscall("write")
+							}
+						})
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "micro/capacity",
+		Suite: "micro",
+		Desc:  "transactions write more lines of one L1 set than its associativity: capacity aborts",
+		Build: func(ctx *Ctx) *Instance {
+			cache := ctx.M.Config().Cache
+			stride := mem.Addr(mem.LineSize * cache.Sets)
+			span := cache.Ways + 2
+			base := make([]mem.Addr, ctx.Threads)
+			for i := range base {
+				base[i] = ctx.M.Mem.Alloc(int(stride)*span, mem.LineSize)
+			}
+			const iters = 60
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.At("big_footprint")
+							for j := 0; j < span; j++ {
+								t.Store(base[t.ID]+mem.Addr(j)*stride, uint64(i))
+							}
+						})
+						t.Compute(30)
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "micro/deep-calls",
+		Suite: "micro",
+		Desc:  "deep call chains with sibling calls inside transactions: stresses LBR path reconstruction",
+		Build: func(ctx *Ctx) *Instance {
+			counters := newPadded(ctx.M, ctx.Threads)
+			const iters = 150
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					var descend func(depth int)
+					descend = func(depth int) {
+						t.Func("level_"+string(rune('a'+depth)), func() {
+							t.Compute(5)
+							if depth < 5 {
+								// A sibling call that returns, then the
+								// real descent: churns LBR entries.
+								t.Func("leaf_check", func() { t.Compute(3) })
+								descend(depth + 1)
+							} else {
+								t.At("deep_update")
+								t.Add(counters.at(t.ID), 1)
+							}
+						})
+					}
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() { descend(0) })
+						t.Compute(60)
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "micro/mixed",
+		Suite: "micro",
+		Desc:  "moderate mix of private work, shared updates, and occasional syscalls",
+		Build: func(ctx *Ctx) *Instance {
+			counters := newPadded(ctx.M, ctx.Threads)
+			shared := ctx.M.Mem.AllocLines(1)
+			const iters = 200
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.Add(counters.at(t.ID), 1)
+							if i%5 == 0 {
+								t.At("shared")
+								t.Add(shared, 1)
+							}
+							if i%23 == 0 {
+								t.Syscall("stat")
+							}
+						})
+						t.Compute(25)
+					}
+				}),
+			}
+		},
+	})
+}

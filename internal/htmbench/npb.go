@@ -1,0 +1,54 @@
+package htmbench
+
+import (
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+)
+
+// NPB UA (unstructured adaptive mesh): the paper's Table 2 entry shows
+// high T_oh from many tiny element updates, fixed by merging
+// transactions (1.05x).
+
+const (
+	uaElements = 1024
+	uaUpdates  = 480 // per thread
+	uaGran     = 2   // updates per merged transaction
+)
+
+func registerUA(name, desc string, gran int, suite string, expected analyzer.Category) {
+	Register(&Workload{
+		Name: name, Suite: suite, Desc: desc, Expected: expected,
+		Build: func(ctx *Ctx) *Instance {
+			elems := newPadded(ctx.M, uaElements)
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					t.Func("adapt_mesh", func() {
+						for i := 0; i < uaUpdates; i += gran {
+							n := gran
+							if n > uaUpdates-i {
+								n = uaUpdates - i
+							}
+							ctx.Lock.Run(t, func() {
+								t.At("element_update")
+								for j := 0; j < n; j++ {
+									// Mostly thread-local elements with
+									// occasional neighbours.
+									e := (t.ID*uaElements/ctx.Threads + t.Rand().Intn(uaElements/ctx.Threads+4)) % uaElements
+									t.Add(elems.at(e), 1)
+								}
+							})
+							t.Compute(150 * n) // per-element physics, outside the CS
+						}
+					})
+				}),
+			}
+		},
+	})
+}
+
+func init() {
+	registerUA("npb/ua", "unstructured adaptive mesh: one tiny transaction per element update (high T_oh)",
+		1, "npb", analyzer.TypeII)
+	registerUA("npb/ua-merged", "UA with merged element-update transactions (Table 2, 1.05x)",
+		uaGran, "opt", 0)
+}

@@ -1,0 +1,198 @@
+package htmbench
+
+import (
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+)
+
+// PARSEC-like kernels, including the paper's §8.1 Dedup case study:
+// a pipelined deduplicator whose ChunkProcess stage searches a chained
+// hash table inside its transaction. With the original's poor hash
+// function only ~2% of buckets are occupied, chains grow long, the
+// transactional footprint explodes (capacity aborts, Figure 9), and a
+// master-thread write_file issues system calls inside the critical
+// section (synchronous aborts). The optimized variant refines the
+// hash and hoists the system calls out (Table 2, 1.20x).
+
+const (
+	dedupBuckets    = 512
+	dedupKeySpace   = 1000
+	dedupChunks     = 130 // chunks per pipeline thread
+	dedupBadBuckets = 16  // the bad hash reaches ~3% of the buckets
+)
+
+func badHash(k uint64) int  { return int(k % dedupBadBuckets) }
+func goodHash(k uint64) int { return int((k * 2654435761) % dedupBuckets) }
+
+type dedupFlavor struct {
+	name, desc  string
+	hash        func(uint64) int
+	syscallInCS bool
+	netSyscalls bool // netdedup: every chunk talks to the network
+}
+
+func registerDedupFlavor(f dedupFlavor, suite string, expected analyzer.Category) {
+	Register(&Workload{
+		Name: f.name, Suite: suite, Desc: f.desc, Expected: expected,
+		Build: func(ctx *Ctx) *Instance {
+			cache := newHashTable(ctx.M, ctx.Threads, dedupBuckets, dedupChunks+8, false, f.hash)
+			anchors := newPadded(ctx.M, ctx.Threads)
+			written := newPadded(ctx.M, 1)
+
+			chunkProcess := func(t *machine.Thread) {
+				for i := 0; i < dedupChunks; i++ {
+					net := f.netSyscalls && i%8 == 0
+					t.Func("ChunkProcess", func() {
+						key := uint64(t.Rand().Intn(dedupKeySpace))
+						t.Compute(900) // chunk fingerprint
+						if net && !f.syscallInCS {
+							t.Syscall("recv") // network input outside the CS
+						}
+						t.Func("sub_ChunkProcess", func() {
+							ctx.Lock.Run(t, func() {
+								if net && f.syscallInCS {
+									t.At("net_recv")
+									t.Syscall("recv")
+								}
+								if _, found := cache.search(t, key); !found {
+									cache.insert(t, key, key)
+								}
+							})
+						})
+					})
+				}
+			}
+			findAllAnchors := func(t *machine.Thread) {
+				for i := 0; i < dedupChunks; i++ {
+					t.Func("FindAllAnchors", func() {
+						t.Compute(1000)
+						ctx.Lock.Run(t, func() {
+							t.At("anchor_update")
+							t.Add(anchors.at(t.ID), 1)
+						})
+					})
+				}
+			}
+			compress := func(master bool) func(t *machine.Thread) {
+				return func(t *machine.Thread) {
+					for i := 0; i < dedupChunks; i++ {
+						t.Func("Compress", func() {
+							t.Compute(1000)
+							if master {
+								t.Func("write_file", func() {
+									if f.syscallInCS {
+										ctx.Lock.Run(t, func() {
+											t.At("fwrite")
+											t.Syscall("write")
+											t.Add(written.at(0), 1)
+										})
+									} else {
+										// Optimized: system call outside
+										// the critical section.
+										t.Syscall("write")
+										ctx.Lock.Run(t, func() {
+											t.At("offset_update")
+											t.Add(written.at(0), 1)
+										})
+									}
+								})
+							}
+						})
+					}
+				}
+			}
+
+			bodies := make([]func(*machine.Thread), ctx.Threads)
+			for i := range bodies {
+				switch i % 3 {
+				case 0:
+					bodies[i] = chunkProcess
+				case 1:
+					bodies[i] = findAllAnchors
+				default:
+					bodies[i] = compress(i == 2) // exactly one master writer
+				}
+			}
+			return &Instance{Bodies: bodies}
+		},
+	})
+}
+
+func init() {
+	registerDedupFlavor(dedupFlavor{
+		name: "parsec/dedup",
+		desc: "pipelined deduplication; poor hash → long chains → capacity aborts; write_file syscalls in the CS",
+		hash: badHash, syscallInCS: true,
+	}, "parsec", analyzer.TypeII)
+
+	registerDedupFlavor(dedupFlavor{
+		name: "parsec/dedup-opt",
+		desc: "dedup with a refined hash (82% bucket utilization) and system calls hoisted out (Table 2)",
+		hash: goodHash, syscallInCS: false,
+	}, "opt", 0)
+
+	registerDedupFlavor(dedupFlavor{
+		name: "parsec/netdedup",
+		desc: "networked dedup: per-chunk recv() inside the critical section — heavy synchronous aborts",
+		hash: goodHash, syscallInCS: true, netSyscalls: true,
+	}, "parsec", analyzer.TypeII)
+
+	registerDedupFlavor(dedupFlavor{
+		name: "parsec/netdedup-opt",
+		desc: "netdedup with network calls moved out of transactions (Table 2, remove system calls)",
+		hash: goodHash, syscallInCS: false, netSyscalls: true,
+	}, "opt", 0)
+
+	Register(&Workload{
+		Name: "parsec/netstreamcluster", Suite: "parsec",
+		Desc:     "streaming clustering: per-point work plus center updates spread over many lines",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			const centers = 256
+			weights := newPadded(ctx.M, centers)
+			const points = 140
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < points; i++ {
+						t.Func("assign", func() {
+							t.Compute(420)
+							c := t.Rand().Intn(centers)
+							ctx.Lock.Run(t, func() {
+								t.At("weight_update")
+								t.Add(weights.at(c), 1)
+								t.Compute(25)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name: "parsec/netferret", Suite: "parsec",
+		Desc:     "similarity search: ranking work with short shared result-list updates",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			const slots = 128
+			ranks := newPadded(ctx.M, slots)
+			const queries = 130
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < queries; i++ {
+						t.Func("rank_query", func() {
+							t.Compute(430)
+							s := t.Rand().Intn(slots)
+							ctx.Lock.Run(t, func() {
+								t.At("rank_insert")
+								t.Load(ranks.at(s))
+								t.Add(ranks.at(s), 1)
+								t.Compute(15)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}

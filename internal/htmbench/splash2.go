@@ -1,0 +1,58 @@
+package htmbench
+
+import (
+	"fmt"
+
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+)
+
+// SPLASH2-like kernels: compute-dominated scientific programs whose
+// critical sections are tiny — the paper's Type I programs (Figure 8,
+// bottom group). They exist so the Figure 5 overhead and Figure 8
+// categorization sweeps include programs the decision tree should
+// dismiss at step (1).
+
+func registerSplash(name, desc string, computePerIter, iters, csEvery int) {
+	Register(&Workload{
+		Name:     "splash2/" + name,
+		Suite:    "splash2",
+		Desc:     desc,
+		Expected: analyzer.TypeI,
+		Build: func(ctx *Ctx) *Instance {
+			acc := newPadded(ctx.M, ctx.Threads)
+			global := ctx.M.Mem.AllocLines(1)
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						t.Func("step", func() {
+							t.Compute(computePerIter)
+							t.Add(acc.at(t.ID), 1) // private accumulation
+							if i%csEvery == 0 {
+								ctx.Lock.Run(t, func() {
+									t.At("global_reduce")
+									t.Add(global, 1)
+								})
+							}
+						})
+					}
+				}),
+				Check: func(m *machine.Machine) error {
+					want := uint64(ctx.Threads * ((iters + csEvery - 1) / csEvery))
+					if got := m.Mem.Load(global); got != want {
+						return fmt.Errorf("%s global = %d, want %d", name, got, want)
+					}
+					return nil
+				},
+			}
+		},
+	})
+}
+
+func init() {
+	registerSplash("barnes", "Barnes-Hut N-body: long force computations, rare tree-lock sections", 500, 100, 10)
+	registerSplash("fmm", "fast multipole: heavy per-cell math, occasional shared list append", 600, 90, 12)
+	registerSplash("ocean", "ocean simulation: stencil sweeps with rare global reductions", 400, 110, 14)
+	registerSplash("water", "water molecular dynamics: pairwise forces, tiny shared updates", 450, 100, 12)
+	registerSplash("raytrace", "ray tracing: independent rays with an occasional shared ray-count", 550, 95, 16)
+}

@@ -1,0 +1,332 @@
+package htmbench
+
+import (
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+	"txsampler/internal/rtm"
+)
+
+// STAMP-like kernels. Each reproduces the original benchmark's
+// critical-section character: vacation's multi-table reservations,
+// kmeans' hot cluster centers, genome's hash-set deduplication,
+// labyrinth's large grid footprints, yada's region retriangulation,
+// intruder's hot queue head, and ssca's well-spread adjacency updates.
+
+func init() {
+	registerVacation()
+	registerKmeans()
+	registerKmeansFineGrained()
+	registerGenome()
+	registerLabyrinth()
+	registerYada()
+	registerIntruder()
+	registerSSCA()
+}
+
+// vacation: a travel reservation system with car/room/flight tables.
+// Each transaction queries several relations and updates reservation
+// counts in a narrow hot range, so aborts exceed commits (Type III).
+// The optimized variant shrinks the transaction to just the updates
+// (Table 2: "reduce transaction size", 1.21x).
+func registerVacation() {
+	build := func(reduced bool) func(ctx *Ctx) *Instance {
+		return func(ctx *Ctx) *Instance {
+			const relations = 3
+			const hot = 64 // contended reservation records per relation
+			tables := make([]padded, relations)
+			for i := range tables {
+				tables[i] = newPadded(ctx.M, hot)
+			}
+			const iters = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						t.Func("client_run", func() {
+							r := t.Rand()
+							slots := [relations]int{r.Intn(hot), r.Intn(hot), r.Intn(hot)}
+							// query browses six records per relation —
+							// table state the reservations mutate.
+							query := func() {
+								t.Func("query_tables", func() {
+									for rel := 0; rel < relations; rel++ {
+										for q := 0; q < 2; q++ {
+											t.Load(tables[rel].at(r.Intn(hot)))
+											t.Compute(12)
+										}
+									}
+								})
+							}
+							reserve := func() {
+								t.Func("make_reservation", func() {
+									for rel := 0; rel < relations; rel++ {
+										t.At("reserve")
+										t.Add(tables[rel].at(slots[rel]), 1)
+									}
+								})
+							}
+							if reduced {
+								// Browse outside the transaction, reserve
+								// inside a minimal one (Table 2: reduce
+								// transaction size).
+								query()
+								ctx.Lock.Run(t, reserve)
+							} else {
+								// Original: the whole client session is
+								// one transaction with a large read set.
+								ctx.Lock.Run(t, func() {
+									query()
+									reserve()
+								})
+							}
+							t.Compute(900) // client think time
+						})
+					}
+				}),
+			}
+		}
+	}
+	Register(&Workload{
+		Name: "stamp/vacation", Suite: "stamp",
+		Desc:     "travel reservations across three relations; hot records make aborts frequent",
+		Expected: analyzer.TypeIII,
+		Build:    build(false),
+	})
+	Register(&Workload{
+		Name: "stamp/vacation-opt", Suite: "opt",
+		Desc:  "vacation with queries hoisted out of the transaction (Table 2: reduce transaction size)",
+		Build: build(true),
+	})
+}
+
+// kmeans: every thread accumulates points into K shared cluster
+// centers; the centers are the classic contention hot spot.
+func registerKmeans() {
+	Register(&Workload{
+		Name: "stamp/kmeans", Suite: "stamp",
+		Desc:     "cluster-center accumulation: all threads update K hot centers",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			const k = 8
+			centers := newPadded(ctx.M, k)
+			counts := newPadded(ctx.M, k)
+			const points = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < points; i++ {
+						t.Func("assign_point", func() {
+							t.Compute(600) // distance computation
+							c := t.Rand().Intn(k)
+							ctx.Lock.Run(t, func() {
+								t.At("center_update")
+								t.Add(centers.at(c), int64(i%7))
+								t.Add(counts.at(c), 1)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+// kmeansFineGrained demonstrates the decision tree's "use fine-grained
+// locks to serialize" suggestion: one elidable lock per cluster center
+// instead of the single global lock, so fallbacks of different centers
+// no longer serialize against each other.
+func registerKmeansFineGrained() {
+	Register(&Workload{
+		Name: "stamp/kmeans-finegrained", Suite: "opt",
+		Desc: "kmeans with one elidable lock per center (decision-tree suggestion for high T_wait)",
+		Build: func(ctx *Ctx) *Instance {
+			const k = 8
+			centers := newPadded(ctx.M, k)
+			counts := newPadded(ctx.M, k)
+			locks := make([]*rtm.Lock, k)
+			for i := range locks {
+				locks[i] = rtm.NewLock(ctx.M)
+			}
+			const points = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < points; i++ {
+						t.Func("assign_point", func() {
+							t.Compute(600)
+							c := t.Rand().Intn(k)
+							locks[c].Run(t, func() {
+								t.At("center_update")
+								t.Add(centers.at(c), int64(i%7))
+								t.Add(counts.at(c), 1)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+// genome: segment deduplication through a small shared hash set; the
+// narrow bucket array keeps insertions colliding.
+func registerGenome() {
+	Register(&Workload{
+		Name: "stamp/genome", Suite: "stamp",
+		Desc:     "segment dedup into a narrow hash set: bucket collisions abort often",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			table := newHashTable(ctx.M, ctx.Threads, 24, 200, true, func(k uint64) int { return int(k % 24) })
+			const segs = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < segs; i++ {
+						key := uint64(t.Rand().Intn(600))
+						t.Func("dedup_segment", func() {
+							ctx.Lock.Run(t, func() {
+								if _, found := table.search(t, key); !found {
+									table.insert(t, key, 1)
+								}
+							})
+						})
+						t.Compute(420)
+					}
+				}),
+			}
+		},
+	})
+}
+
+// labyrinth: path routing claims a long scattered trail of grid cells
+// inside one transaction — the classic capacity-abort workload.
+func registerLabyrinth() {
+	Register(&Workload{
+		Name: "stamp/labyrinth", Suite: "stamp",
+		Desc:     "grid path claims with long scattered footprints: capacity and conflict aborts",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			const cells = 8192
+			grid := newPadded(ctx.M, cells)
+			const routes = 35
+			const pathLen = 20
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < routes; i++ {
+						t.Func("route_path", func() {
+							start := t.Rand().Intn(cells)
+							stride := 37 + t.Rand().Intn(61)
+							ctx.Lock.Run(t, func() {
+								t.At("claim_cells")
+								for j := 0; j < pathLen; j++ {
+									cell := (start + j*stride) % cells
+									if t.Load(grid.at(cell)) == 0 {
+										t.Store(grid.at(cell), uint64(t.ID)+1)
+									}
+								}
+							})
+						})
+						t.Compute(800)
+					}
+				}),
+			}
+		},
+	})
+}
+
+// yada: Delaunay-like region refinement — medium transactions reading
+// a neighbourhood and rewriting part of it.
+func registerYada() {
+	Register(&Workload{
+		Name: "stamp/yada", Suite: "stamp",
+		Desc:     "mesh region refinement: medium read/write neighbourhoods, moderate conflicts",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			const elems = 512
+			mesh := newPadded(ctx.M, elems)
+			const refinements = 70
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < refinements; i++ {
+						t.Func("refine", func() {
+							center := t.Rand().Intn(elems)
+							ctx.Lock.Run(t, func() {
+								t.At("read_cavity")
+								for j := 0; j < 11; j++ {
+									t.Load(mesh.at((center + j) % elems))
+								}
+								t.At("retriangulate")
+								for j := 0; j < 4; j++ {
+									t.Add(mesh.at((center+j)%elems), 1)
+								}
+							})
+							t.Compute(500)
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+// intruder: packet reassembly pops work from one shared queue head —
+// a single contended line — then inserts into a flow table.
+func registerIntruder() {
+	Register(&Workload{
+		Name: "stamp/intruder", Suite: "stamp",
+		Desc:     "shared work-queue head plus flow-table insertions: the queue head is a single hot line",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			queueHead := ctx.M.Mem.AllocLines(1)
+			flows := newHashTable(ctx.M, ctx.Threads, 256, 200, false, func(k uint64) int { return int(k % 256) })
+			const packets = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < packets; i++ {
+						var pkt uint64
+						t.Func("pop_packet", func() {
+							ctx.Lock.Run(t, func() {
+								t.At("queue_head")
+								pkt = t.Load(queueHead)
+								t.Store(queueHead, pkt+1)
+							})
+						})
+						t.Compute(450) // decode
+						t.Func("insert_flow", func() {
+							ctx.Lock.Run(t, func() {
+								flows.insert(t, pkt%512, pkt)
+							})
+						})
+					}
+				}),
+			}
+		},
+	})
+}
+
+// ssca (STAMP's ssca2 port): adjacency-list construction with inserts
+// spread over a wide padded array — significant CS time but few
+// conflicts (Type II).
+func registerSSCA() {
+	Register(&Workload{
+		Name: "stamp/ssca", Suite: "stamp",
+		Desc:     "graph adjacency construction over a wide array: hot CS, rare conflicts",
+		Expected: analyzer.TypeII,
+		Build: func(ctx *Ctx) *Instance {
+			const nodes = 2048
+			degree := newPadded(ctx.M, nodes)
+			const edges = 220
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < edges; i++ {
+						t.Func("add_edge", func() {
+							u := t.Rand().Intn(nodes)
+							ctx.Lock.Run(t, func() {
+								t.At("degree_update")
+								t.Add(degree.at(u), 1)
+								t.Compute(18)
+							})
+						})
+						t.Compute(300)
+					}
+				}),
+			}
+		},
+	})
+}

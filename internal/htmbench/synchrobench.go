@@ -1,0 +1,164 @@
+package htmbench
+
+import (
+	"txsampler/internal/analyzer"
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+// Synchrobench kernels. The sorted linked list is Table 2's best case:
+// whole-traversal transactions build read sets proportional to the
+// list length, so they abort constantly (high rate, low per-abort
+// penalty); the optimized variant walks the list non-transactionally
+// and uses a minimal validate-and-link transaction — the paper's
+// "limit transaction size with auxiliary locks" (3.78x).
+
+const (
+	listPreload = 40
+	listKeyStep = 16
+	listOps     = 50 // per thread
+)
+
+// preloadList builds the initial sorted list directly in memory (the
+// untimed setup phase of the original benchmark).
+func preloadList(m *machine.Machine, l *sortedList) {
+	prevCell := l.head
+	for i := 0; i < listPreload; i++ {
+		n := l.pool.allocHost(m, 0)
+		m.Mem.Store(fieldAddr(n, fKey), uint64((i+1)*listKeyStep))
+		m.Mem.Store(prevCell, mem.Word(n))
+		prevCell = fieldAddr(n, fNext)
+	}
+}
+
+func init() {
+	Register(&Workload{
+		Name: "synchro/linkedlist", Suite: "synchrobench",
+		Desc:     "sorted linked list with whole-traversal transactions: huge read sets, constant aborts",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			l := newSortedList(ctx.M, ctx.Threads, listPreload+listOps+4)
+			preloadList(ctx.M, l)
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < listOps; i++ {
+						key := uint64(1 + t.Rand().Intn(listPreload*listKeyStep))
+						if t.Rand().Intn(100) < 20 {
+							ctx.Lock.Run(t, func() { l.insert(t, key) })
+						} else {
+							ctx.Lock.Run(t, func() { l.contains(t, key) })
+						}
+						t.Compute(500)
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name: "synchro/linkedlist-opt", Suite: "opt",
+		Desc: "linked list with non-transactional traversal and a tiny validate-and-link transaction (Table 2, 3.78x)",
+		Build: func(ctx *Ctx) *Instance {
+			l := newSortedList(ctx.M, ctx.Threads, listPreload+listOps+4)
+			preloadList(ctx.M, l)
+			// locate walks without a transaction and returns the
+			// pointer cell preceding key and the node it points at.
+			locate := func(t *machine.Thread, key uint64) (prev, cur mem.Addr) {
+				t.Func("list_locate", func() {
+					prev = l.head
+					cur = mem.Addr(t.Load(prev))
+					for cur != 0 {
+						k := t.Load(fieldAddr(cur, fKey))
+						if k >= key {
+							return
+						}
+						prev = fieldAddr(cur, fNext)
+						cur = mem.Addr(t.Load(prev))
+					}
+				})
+				return prev, cur
+			}
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < listOps; i++ {
+						key := uint64(1 + t.Rand().Intn(listPreload*listKeyStep))
+						if t.Rand().Intn(100) < 20 {
+							for {
+								prev, cur := locate(t, key)
+								linked := false
+								ctx.Lock.Run(t, func() {
+									t.At("validate_link")
+									if mem.Addr(t.Load(prev)) != cur {
+										return // a neighbour changed: retry
+									}
+									if cur != 0 && t.Load(fieldAddr(cur, fKey)) == key {
+										linked = true // already present
+										return
+									}
+									n := l.pool.alloc(t)
+									t.Store(fieldAddr(n, fKey), key)
+									t.Store(fieldAddr(n, fNext), mem.Word(cur))
+									t.Store(prev, mem.Word(n))
+									linked = true
+								})
+								if linked {
+									break
+								}
+							}
+						} else {
+							locate(t, key)
+						}
+						t.Compute(500)
+					}
+				}),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name: "synchro/skiplist", Suite: "synchrobench",
+		Desc:     "logarithmic search structure with frequent updates near the root: aborts outpace commits",
+		Expected: analyzer.TypeIII,
+		Build: func(ctx *Ctx) *Instance {
+			tree := newBST(ctx.M, ctx.Threads, 300)
+			// Preload a modest tree directly in memory.
+			preKeys := []uint64{128, 64, 192, 32, 96, 160, 224, 16, 80, 144, 208}
+			build := func(m *machine.Machine) {
+				for _, k := range preKeys {
+					// Host-side insertion walking stored pointers.
+					slot := tree.root
+					for {
+						cur := mem.Addr(m.Mem.Load(slot))
+						if cur == 0 {
+							n := tree.pool.allocHost(m, 0)
+							m.Mem.Store(fieldAddr(n, fKey), k)
+							m.Mem.Store(slot, mem.Word(n))
+							break
+						}
+						ck := m.Mem.Load(fieldAddr(cur, fKey))
+						if k < ck {
+							slot = fieldAddr(cur, fLeft)
+						} else {
+							slot = fieldAddr(cur, fRight)
+						}
+					}
+				}
+			}
+			build(ctx.M)
+			const ops = 110
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < ops; i++ {
+						key := uint64(t.Rand().Intn(32))
+						if t.Rand().Intn(100) < 45 {
+							ctx.Lock.Run(t, func() { tree.insert(t, key, key) })
+						} else {
+							ctx.Lock.Run(t, func() { tree.lookup(t, key) })
+						}
+						t.Compute(400)
+					}
+				}),
+			}
+		},
+	})
+}

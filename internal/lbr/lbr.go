@@ -1,0 +1,123 @@
+// Package lbr models the Last Branch Records feature of modern Intel
+// CPUs: a per-core circular buffer holding the most recent N taken
+// branches. Each entry carries the (from, to) instruction pointers, an
+// abort bit marking a branch caused by a transactional abort, and an
+// "in-tsx" bit marking whether the branch executed inside a hardware
+// transaction (paper §3.1, Figure 3(b)).
+//
+// TxSampler configures the LBR to capture calls and returns; the
+// profiler pairs them to reconstruct the call-path suffix that executed
+// speculatively inside a transaction and is otherwise lost when the
+// abort rolls the architectural state back.
+package lbr
+
+// Kind classifies a recorded branch.
+type Kind uint8
+
+const (
+	// KindCall is a function call branch.
+	KindCall Kind = iota
+	// KindReturn is a function return branch.
+	KindReturn
+	// KindAbort is the asynchronous branch from a transactional abort
+	// to the fallback/XBEGIN target; its Abort bit is always set.
+	KindAbort
+	// KindInterrupt is the branch recorded when a PMU interrupt is
+	// delivered without aborting a transaction (the triggering entry
+	// the handler inspects first, Figure 3(b) LBR[0]).
+	KindInterrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "return"
+	case KindAbort:
+		return "abort"
+	case KindInterrupt:
+		return "interrupt"
+	}
+	return "unknown"
+}
+
+// IP identifies an instruction location in the simulated program:
+// a function name plus a site label within it. It stands in for the
+// instruction pointer values real LBR entries hold.
+type IP struct {
+	Fn   string
+	Site string
+}
+
+func (ip IP) String() string {
+	if ip.Site == "" {
+		return ip.Fn
+	}
+	return ip.Fn + ":" + ip.Site
+}
+
+// Entry is one LBR record.
+type Entry struct {
+	Kind  Kind
+	From  IP
+	To    IP
+	Abort bool // branch caused by a transaction abort
+	InTSX bool // branch executed inside a transaction
+}
+
+// Buffer is a fixed-capacity circular branch record. Haswell/Broadwell
+// provide 16 entries, Skylake and successors 32 (paper §3.1).
+type Buffer struct {
+	entries []Entry
+	head    int // index of the slot the *next* record will occupy
+	filled  int
+	frozen  bool
+}
+
+// New returns a buffer holding the most recent depth branches.
+func New(depth int) *Buffer {
+	if depth <= 0 {
+		panic("lbr: depth must be positive")
+	}
+	return &Buffer{entries: make([]Entry, depth)}
+}
+
+// Depth returns the buffer capacity.
+func (b *Buffer) Depth() int { return len(b.entries) }
+
+// Record appends a branch, overwriting the oldest when full. Recording
+// is a no-op while the buffer is frozen (during PMU handler execution,
+// as hardware freezes LBRs on PMI).
+func (b *Buffer) Record(e Entry) {
+	if b.frozen {
+		return
+	}
+	b.entries[b.head] = e
+	b.head = (b.head + 1) % len(b.entries)
+	if b.filled < len(b.entries) {
+		b.filled++
+	}
+}
+
+// Freeze stops recording; Unfreeze resumes it.
+func (b *Buffer) Freeze()   { b.frozen = true }
+func (b *Buffer) Unfreeze() { b.frozen = false }
+
+// Snapshot returns the recorded branches most-recent-first, so index 0
+// is LBR[0] in the paper's Figure 3(b): the entry the profiler checks
+// for the abort bit.
+func (b *Buffer) Snapshot() []Entry {
+	out := make([]Entry, b.filled)
+	for i := 0; i < b.filled; i++ {
+		idx := (b.head - 1 - i + len(b.entries)*2) % len(b.entries)
+		out[i] = b.entries[idx]
+	}
+	return out
+}
+
+// Clear empties the buffer.
+func (b *Buffer) Clear() {
+	b.head = 0
+	b.filled = 0
+}

@@ -1,0 +1,134 @@
+package lbr
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func call(from, to string) Entry {
+	return Entry{Kind: KindCall, From: IP{Fn: from}, To: IP{Fn: to}}
+}
+
+func TestSnapshotOrderMostRecentFirst(t *testing.T) {
+	b := New(4)
+	b.Record(call("a", "b"))
+	b.Record(call("b", "c"))
+	b.Record(call("c", "d"))
+	s := b.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3", len(s))
+	}
+	if s[0].To.Fn != "d" || s[1].To.Fn != "c" || s[2].To.Fn != "b" {
+		t.Fatalf("order wrong: %v", s)
+	}
+}
+
+func TestOverwriteOldest(t *testing.T) {
+	b := New(2)
+	b.Record(call("a", "b"))
+	b.Record(call("b", "c"))
+	b.Record(call("c", "d"))
+	s := b.Snapshot()
+	if len(s) != 2 {
+		t.Fatalf("len = %d, want 2", len(s))
+	}
+	if s[0].To.Fn != "d" || s[1].To.Fn != "c" {
+		t.Fatalf("oldest not overwritten: %v", s)
+	}
+}
+
+func TestFreezeBlocksRecording(t *testing.T) {
+	b := New(4)
+	b.Record(call("a", "b"))
+	b.Freeze()
+	b.Record(call("b", "c"))
+	if n := len(b.Snapshot()); n != 1 {
+		t.Fatalf("frozen buffer recorded: %d entries", n)
+	}
+	b.Unfreeze()
+	b.Record(call("b", "c"))
+	if n := len(b.Snapshot()); n != 2 {
+		t.Fatalf("unfrozen buffer did not record: %d entries", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	b := New(4)
+	b.Record(call("a", "b"))
+	b.Clear()
+	if len(b.Snapshot()) != 0 {
+		t.Fatal("snapshot after Clear not empty")
+	}
+	b.Record(call("x", "y"))
+	if s := b.Snapshot(); len(s) != 1 || s[0].To.Fn != "y" {
+		t.Fatalf("record after Clear wrong: %v", s)
+	}
+}
+
+func TestAbortAndInTSXBitsPreserved(t *testing.T) {
+	b := New(4)
+	b.Record(Entry{Kind: KindAbort, Abort: true, InTSX: true, To: IP{Fn: "fallback"}})
+	s := b.Snapshot()
+	if !s[0].Abort || !s[0].InTSX || s[0].Kind != KindAbort {
+		t.Fatalf("bits lost: %+v", s[0])
+	}
+}
+
+func TestZeroDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestIPString(t *testing.T) {
+	if got := (IP{Fn: "f", Site: "12"}).String(); got != "f:12" {
+		t.Errorf("IP.String() = %q", got)
+	}
+	if got := (IP{Fn: "f"}).String(); got != "f" {
+		t.Errorf("IP.String() = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{KindCall: "call", KindReturn: "return", KindAbort: "abort", KindInterrupt: "interrupt", Kind(99): "unknown"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+// Property: after any sequence of records, Snapshot returns
+// min(len(seq), depth) entries, and they are the most recent ones in
+// reverse order of recording.
+func TestQuickSnapshotWindow(t *testing.T) {
+	f := func(depth8 uint8, n8 uint8) bool {
+		depth := int(depth8)%16 + 1
+		n := int(n8) % 64
+		b := New(depth)
+		for i := 0; i < n; i++ {
+			b.Record(call(fmt.Sprint(i), fmt.Sprint(i+1)))
+		}
+		s := b.Snapshot()
+		want := n
+		if want > depth {
+			want = depth
+		}
+		if len(s) != want {
+			return false
+		}
+		for i, e := range s {
+			if e.To.Fn != fmt.Sprint(n-i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

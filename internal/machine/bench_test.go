@@ -1,0 +1,71 @@
+package machine
+
+// Micro-benchmarks of the simulator itself: operation rendezvous
+// throughput, transactional operation cost, and sampling overhead —
+// the numbers that bound how large a workload the harness can run.
+
+import (
+	"testing"
+
+	"txsampler/internal/pmu"
+)
+
+func BenchmarkOpThroughputSingleThread(b *testing.B) {
+	m := New(Config{Threads: 1})
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(t *Thread) {
+			for i := 0; i < b.N; i++ {
+				t.Compute(1)
+			}
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func BenchmarkOpThroughput8Threads(b *testing.B) {
+	m := New(Config{Threads: 8})
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(t *Thread) {
+			for i := 0; i < b.N/8+1; i++ {
+				t.Compute(1)
+			}
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func BenchmarkTransactionalIncrement(b *testing.B) {
+	m := New(Config{Threads: 1})
+	a := m.Mem.AllocWords(1)
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(t *Thread) {
+			for i := 0; i < b.N; i++ {
+				t.Attempt(func() { t.Add(a, 1) })
+			}
+		})
+		close(done)
+	}()
+	<-done
+}
+
+func BenchmarkSampledExecution(b *testing.B) {
+	var p pmu.Periods
+	p[pmu.Cycles] = 500
+	m := New(Config{Threads: 1, Periods: p})
+	m.SetHandler(&collectHandler{})
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(t *Thread) {
+			for i := 0; i < b.N; i++ {
+				t.Compute(10)
+			}
+		})
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,52 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"txsampler/internal/htm"
+	"txsampler/internal/machine"
+)
+
+// ExampleThread_Attempt shows the raw XBEGIN/XEND layer beneath the
+// RTM library: a committed attempt publishes its buffered stores, an
+// explicit abort discards them.
+func ExampleThread_Attempt() {
+	m := machine.New(machine.Config{Threads: 1})
+	a := m.Mem.AllocWords(1)
+
+	err := m.RunAll(func(t *machine.Thread) {
+		if ab := t.Attempt(func() { t.Store(a, 42) }); ab == nil {
+			fmt.Println("committed:", t.Commits())
+		}
+		ab := t.Attempt(func() {
+			t.Store(a, 99)
+			t.TxAbort()
+		})
+		fmt.Println("abort cause:", ab.Cause)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("memory:", m.Mem.Load(a))
+	// Output:
+	// committed: 1
+	// abort cause: explicit
+	// memory: 42
+}
+
+// ExampleMachine_GroundTruth shows the exact instrumentation profilers
+// are validated against: a system call inside a transaction aborts it
+// synchronously.
+func ExampleMachine_GroundTruth() {
+	m := machine.New(machine.Config{Threads: 1})
+	err := m.RunAll(func(t *machine.Thread) {
+		t.Attempt(func() { t.Syscall("write") })
+	})
+	if err != nil {
+		panic(err)
+	}
+	g := m.GroundTruth()
+	fmt.Println("sync aborts:", g.Aborts[htm.Sync])
+	// Output:
+	// sync aborts: 1
+}

@@ -1,0 +1,264 @@
+// Package machine implements the simulated multicore machine that HTM
+// workloads execute on: cores with private L1 caches, a TSX-like
+// transaction engine, per-thread PMU counters whose overflows deliver
+// interrupts (aborting in-flight transactions), per-core LBR buffers,
+// and architectural call stacks that roll back on abort.
+//
+// Simulated threads are real goroutines driven in lockstep by a
+// deterministic scheduler: every operation is a rendezvous, and the
+// scheduler always advances the runnable thread with the smallest
+// local cycle clock, so the global interleaving is a total order over
+// simulated time, reproducible for a given seed and workload.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"txsampler/internal/cache"
+	"txsampler/internal/htm"
+	"txsampler/internal/mem"
+	"txsampler/internal/pmu"
+)
+
+// Costs is the cycle cost model for non-memory operations. Memory
+// operation latencies come from the cache hierarchy.
+type Costs struct {
+	Compute uint64 // one unit of Compute(n)
+	Call    uint64 // call instruction
+	Return  uint64 // return instruction
+	Syscall uint64 // kernel round trip
+	TxBegin uint64 // XBEGIN
+	TxEnd   uint64 // XEND
+	TxAbort uint64 // hardware rollback penalty
+	Atomic  uint64 // extra cost of a locked RMW over a plain store
+}
+
+// DefaultCosts returns a cost model with plausible relative magnitudes
+// (absolute values are arbitrary; only shapes matter).
+func DefaultCosts() Costs {
+	return Costs{Compute: 1, Call: 2, Return: 2, Syscall: 400, TxBegin: 45, TxEnd: 30, TxAbort: 150, Atomic: 20}
+}
+
+// Config describes a machine.
+type Config struct {
+	Threads int          // number of simulated threads; one core each
+	Cache   cache.Config // zero value → cache.DefaultConfig()
+	// MaxReadLines bounds the HTM read set (see htm.Config).
+	MaxReadLines int
+	LBRDepth     int   // 0 → 16 (Haswell/Broadwell, paper §3.1)
+	Costs        Costs // zero value → DefaultCosts()
+	Seed         int64 // workload PRNG seed
+
+	// Periods enables PMU sampling when any entry is non-zero. With
+	// the zero value the machine runs "native": no interrupts, no
+	// profiling perturbation.
+	Periods pmu.Periods
+	// HandlerCost is charged to a thread's clock for each delivered
+	// sample, modelling the profiler's signal handler (0 → 200).
+	HandlerCost uint64
+	// StartSkew randomizes each thread's initial clock in [0,
+	// StartSkew) cycles, modelling thread-creation skew. Zero starts
+	// all threads at cycle 0.
+	StartSkew uint64
+	// MemPenalty adds a fixed cost to every Load and Store, modelling
+	// per-access software instrumentation (the STM-style replay of
+	// record-and-replay profilers, §9).
+	MemPenalty uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.Cache == (cache.Config{}) {
+		c.Cache = cache.DefaultConfig()
+	}
+	if c.LBRDepth == 0 {
+		c.LBRDepth = 16
+	}
+	if c.Costs == (Costs{}) {
+		c.Costs = DefaultCosts()
+	}
+	if c.HandlerCost == 0 {
+		c.HandlerCost = 200
+	}
+	return c
+}
+
+// Sampling reports whether any PMU event is enabled.
+func (c Config) Sampling() bool {
+	for _, p := range c.Periods {
+		if p != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SampleHandler receives PMU samples. Implemented by the TxSampler
+// collector. Handlers run logically inside the interrupted thread; the
+// machine charges HandlerCost cycles per delivery.
+type SampleHandler interface {
+	HandleSample(s *Sample)
+}
+
+// Machine is one simulated multicore system.
+type Machine struct {
+	cfg     Config
+	Mem     *mem.Memory
+	Caches  *cache.Hierarchy
+	HTM     *htm.Engine
+	threads []*Thread
+	handler SampleHandler
+
+	ran bool
+}
+
+// New constructs a machine. The configuration is validated and
+// defaulted; see Config.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	if cfg.Threads < 1 || cfg.Threads > 64 {
+		panic(fmt.Sprintf("machine: thread count %d out of range [1,64]", cfg.Threads))
+	}
+	m := &Machine{
+		cfg:    cfg,
+		Mem:    mem.NewMemory(),
+		Caches: cache.New(cfg.Threads, cfg.Cache),
+		HTM: htm.NewEngine(htm.Config{
+			Sets: cfg.Cache.Sets, Ways: cfg.Cache.Ways, MaxReadLines: cfg.MaxReadLines,
+		}),
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		m.threads = append(m.threads, newThread(m, i))
+	}
+	return m
+}
+
+// Config returns the (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetHandler installs the PMU sample handler. Must be called before
+// Run.
+func (m *Machine) SetHandler(h SampleHandler) { m.handler = h }
+
+// Thread returns thread i, for pre-Run configuration by tests.
+func (m *Machine) Thread(i int) *Thread { return m.threads[i] }
+
+// Run executes one body per configured thread to completion and
+// returns the first workload panic as an error (simulated aborts are
+// handled internally and never escape). Run may be called once.
+func (m *Machine) Run(bodies ...func(*Thread)) error {
+	if m.ran {
+		panic("machine: Run called twice")
+	}
+	m.ran = true
+	if len(bodies) != m.cfg.Threads {
+		panic(fmt.Sprintf("machine: %d bodies for %d threads", len(bodies), m.cfg.Threads))
+	}
+	for i, t := range m.threads {
+		go t.main(bodies[i])
+	}
+	return m.schedule()
+}
+
+// RunAll is a convenience that runs the same body on every thread.
+func (m *Machine) RunAll(body func(*Thread)) error {
+	bodies := make([]func(*Thread), m.cfg.Threads)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	return m.Run(bodies...)
+}
+
+// schedule drives all threads: repeatedly grant one operation to the
+// live thread with the smallest clock (ties broken by thread ID).
+func (m *Machine) schedule() error {
+	live := make([]*Thread, len(m.threads))
+	copy(live, m.threads)
+	for len(live) > 0 {
+		t := live[0]
+		for _, c := range live[1:] {
+			if c.clock < t.clock {
+				t = c
+			}
+		}
+		t.resume <- struct{}{}
+		msg := <-t.yield
+		if msg.done {
+			if msg.panicked != nil {
+				// Fail fast: the dead thread may hold a spin lock
+				// other threads wait on forever. Remaining thread
+				// goroutines stay parked and are collected with the
+				// machine.
+				return fmt.Errorf("machine: thread %d panicked: %v", t.ID, msg.panicked)
+			}
+			for i, c := range live {
+				if c == t {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Elapsed returns the makespan: the largest thread clock.
+func (m *Machine) Elapsed() uint64 {
+	var max uint64
+	for _, t := range m.threads {
+		if t.clock > max {
+			max = t.clock
+		}
+	}
+	return max
+}
+
+// TotalCycles returns the sum of all thread clocks (the paper's "work"
+// W measured exactly, rather than by sampling).
+func (m *Machine) TotalCycles() uint64 {
+	var sum uint64
+	for _, t := range m.threads {
+		sum += t.clock
+	}
+	return sum
+}
+
+// GroundTruth aggregates the machine's exact instrumentation, the
+// reference TxSampler's profiles are validated against (paper §7.2).
+type GroundTruth struct {
+	Commits          uint64
+	Aborts           map[htm.Cause]uint64 // application aborts by cause
+	PerThreadCommits []uint64
+	PerThreadAborts  []uint64
+}
+
+// GroundTruth returns exact per-machine transaction statistics.
+func (m *Machine) GroundTruth() GroundTruth {
+	g := GroundTruth{Aborts: make(map[htm.Cause]uint64)}
+	for _, t := range m.threads {
+		g.Commits += t.commits
+		g.PerThreadCommits = append(g.PerThreadCommits, t.commits)
+		var aborts uint64
+		for c, n := range t.aborts {
+			if n > 0 {
+				g.Aborts[htm.Cause(c)] += n
+				aborts += n
+			}
+		}
+		g.PerThreadAborts = append(g.PerThreadAborts, aborts)
+	}
+	return g
+}
+
+// AbortCauses returns the causes seen, sorted for stable output.
+func (g GroundTruth) AbortCauses() []htm.Cause {
+	out := make([]htm.Cause, 0, len(g.Aborts))
+	for c := range g.Aborts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

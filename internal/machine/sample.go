@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"txsampler/internal/lbr"
+	"txsampler/internal/mem"
+	"txsampler/internal/pmu"
+)
+
+// Sample is one PMU sample as delivered to the profiler's handler. It
+// contains exactly what a real handler can observe — the precise IP,
+// the frozen LBR, the RTM library state word, and the (possibly
+// rolled-back) call stack — plus hidden ground-truth fields the
+// correctness tests compare reconstructions against (paper §7.2).
+type Sample struct {
+	Event pmu.Event
+	TID   int
+	Time  uint64 // thread cycle clock at delivery
+
+	// IP is the precise instruction pointer at the sample point. When
+	// the sample aborted a transaction this is the in-transaction
+	// location (shared between transaction and fallback paths, so it
+	// alone cannot identify the executing path — Challenge I).
+	IP lbr.IP
+
+	// LBR is the frozen branch record, most recent first; LBR[0] is
+	// the entry whose abort bit the profiler checks (§3.1).
+	LBR []lbr.Entry
+
+	// State is the RTM runtime library's state word at delivery
+	// (post-rollback for samples that aborted a transaction).
+	State uint32
+
+	// Stack is what call-stack unwinding from the signal context
+	// observes: for in-transaction samples this reaches only the
+	// transaction start, because the abort rolled the stack back
+	// (Challenge IV).
+	Stack []lbr.IP
+
+	// Effective address, for Loads/Stores samples.
+	Addr    mem.Addr
+	IsWrite bool
+	HasAddr bool
+
+	// Abort carries the abort record for TxAbort samples.
+	Abort *AbortInfo
+
+	// Ground truth (not available to a real profiler; used only to
+	// validate reconstruction accuracy in tests).
+	TruthStack []lbr.IP
+	TruthInTx  bool
+}

@@ -1,0 +1,80 @@
+package machine
+
+// Randomized stress: arbitrary mixes of transactional and
+// non-transactional operations across threads must preserve the
+// machine's core invariants.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"txsampler/internal/mem"
+	"txsampler/internal/pmu"
+)
+
+// TestQuickStressInvariants drives random workloads and checks:
+// committed transactional increments are never lost (serializability
+// of commits), atomic adds are exact, and ground-truth bookkeeping is
+// consistent, with and without sampling.
+func TestQuickStressInvariants(t *testing.T) {
+	f := func(seed int64, threads8, iters8 uint8, sampled bool) bool {
+		threads := int(threads8)%5 + 2
+		iters := int(iters8)%30 + 10
+		cfg := Config{Threads: threads, Seed: seed, StartSkew: 300}
+		if sampled {
+			var p pmu.Periods
+			p[pmu.Cycles] = 700
+			p[pmu.TxAbort] = 4
+			p[pmu.TxCommit] = 4
+			cfg.Periods = p
+		}
+		m := New(cfg)
+		if sampled {
+			m.SetHandler(&collectHandler{})
+		}
+		txCounter := m.Mem.AllocLines(1)
+		atomicCounter := m.Mem.AllocLines(1)
+		private := m.Mem.AllocLines(threads)
+
+		err := m.RunAll(func(th *Thread) {
+			r := th.Rand()
+			for i := 0; i < iters; i++ {
+				switch r.Intn(3) {
+				case 0:
+					// Retry-until-commit transactional increment.
+					for {
+						if ab := th.Attempt(func() {
+							v := th.Load(txCounter)
+							th.Compute(r.Intn(20))
+							th.Store(txCounter, v+1)
+						}); ab == nil {
+							break
+						}
+					}
+				case 1:
+					th.AtomicAdd(atomicCounter, 1)
+				default:
+					th.Add(private+mem.Addr(th.ID)*mem.LineSize, 1)
+					th.Compute(r.Intn(40))
+				}
+			}
+		})
+		if err != nil {
+			return false
+		}
+		g := m.GroundTruth()
+		// Committed transactional increments match the commit count.
+		if m.Mem.Load(txCounter) != g.Commits {
+			return false
+		}
+		// Per-thread sums equal the total.
+		var perSum uint64
+		for _, n := range g.PerThreadCommits {
+			perSum += n
+		}
+		return perSum == g.Commits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,588 @@
+package machine
+
+import (
+	"math/rand"
+
+	"txsampler/internal/htm"
+	"txsampler/internal/lbr"
+	"txsampler/internal/mem"
+	"txsampler/internal/pmu"
+)
+
+// txAbortSentinel is the private panic value used to unwind a thread's
+// Go-level execution back to Attempt when its transaction aborts, the
+// simulated analogue of the hardware jump to the XBEGIN fallback
+// target. It never escapes the machine API: Attempt recovers it.
+type txAbortSentinel struct{}
+
+// AbortInfo describes one completed transaction abort, surfaced to the
+// RTM runtime library for its retry decision.
+type AbortInfo struct {
+	Cause        htm.Cause
+	CapKind      htm.CapacityKind
+	Weight       uint64 // cycles wasted in the aborted attempt
+	ConflictLine mem.Addr
+	AbortedBy    int  // aborting thread, or -1
+	AbortedByTx  bool // conflicting access was itself transactional
+}
+
+type frame struct {
+	fn   string
+	site string
+}
+
+type yieldMsg struct {
+	done     bool
+	panicked any
+}
+
+// Thread is one simulated hardware thread (pinned to its own core).
+// Workload bodies receive a Thread and perform all computation and
+// memory access through its operation methods; each operation advances
+// the thread's cycle clock and is a scheduling point.
+type Thread struct {
+	m  *Machine
+	ID int
+
+	clock    uint64
+	stack    []frame
+	lbrBuf   *lbr.Buffer
+	counters pmu.Counters
+	rng      *rand.Rand
+
+	// Transaction state.
+	tx        *htm.Tx
+	txNest    int    // flattened nesting depth (TSX nests by flattening)
+	txStack   int    // stack depth snapshot at outermost XBEGIN
+	txSite    string // top-frame site snapshot at XBEGIN
+	txState   uint32 // state word snapshot at XBEGIN
+	txBeginIP lbr.IP // abort branch target
+	lastAbort AbortInfo
+
+	// State is the RTM runtime library's thread-private state word
+	// (paper §3.2). The rtm package maintains it; the profiler reads
+	// it from samples. It is software state, not simulated memory.
+	State uint32
+
+	// Exact instrumentation (ground truth for §7.2 validation).
+	commits uint64
+	aborts  [8]uint64 // indexed by htm.Cause
+
+	resume chan struct{}
+	yield  chan yieldMsg
+}
+
+func newThread(m *Machine, id int) *Thread {
+	t := &Thread{
+		m:      m,
+		ID:     id,
+		lbrBuf: lbr.New(m.cfg.LBRDepth),
+		rng:    rand.New(rand.NewSource(m.cfg.Seed*1_000_003 + int64(id))),
+		stack:  []frame{{fn: "thread_root"}},
+		resume: make(chan struct{}),
+		yield:  make(chan yieldMsg),
+	}
+	t.counters.SetPeriods(m.cfg.Periods)
+	if m.cfg.StartSkew > 0 {
+		// Sampling-period jitter accompanies start skew: both break
+		// the lock-step artifacts a fully deterministic machine
+		// manufactures (real PMU profilers randomize periods too).
+		t.counters.EnableJitter(uint64(m.cfg.Seed)*0x9e3779b9 + uint64(id) + 1)
+	}
+	if m.cfg.StartSkew > 0 {
+		// Stagger thread start times as real thread creation does;
+		// with a perfectly deterministic scheduler, identical bodies
+		// would otherwise run in lockstep and manufacture thundering
+		// herds no real machine exhibits.
+		t.clock = uint64(t.rng.Int63n(int64(m.cfg.StartSkew)))
+	}
+	return t
+}
+
+// main is the goroutine body driving the workload under the scheduler.
+func (t *Thread) main(body func(*Thread)) {
+	var msg yieldMsg
+	msg.done = true
+	defer func() {
+		msg.panicked = recover()
+		t.yield <- msg
+	}()
+	<-t.resume
+	body(t)
+}
+
+func (t *Thread) yieldAndWait() {
+	t.yield <- yieldMsg{}
+	<-t.resume
+}
+
+// Clock returns the thread's cycle clock.
+func (t *Thread) Clock() uint64 { return t.clock }
+
+// Rand returns the thread's deterministic PRNG.
+func (t *Thread) Rand() *rand.Rand { return t.rng }
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Counters exposes the thread's PMU counters (read-only use).
+func (t *Thread) Counters() *pmu.Counters { return &t.counters }
+
+// InTx reports whether a hardware transaction is active.
+func (t *Thread) InTx() bool { return t.tx != nil }
+
+// LastAbort returns the record of the most recent abort; valid inside
+// the abort handling path of Attempt.
+func (t *Thread) LastAbort() AbortInfo { return t.lastAbort }
+
+// Commits and Aborts expose the exact ground-truth instrumentation.
+func (t *Thread) Commits() uint64 { return t.commits }
+
+// Aborts returns the exact abort count for one cause.
+func (t *Thread) Aborts(c htm.Cause) uint64 { return t.aborts[c] }
+
+// CallStack returns a copy of the architectural call stack, root
+// first — what a call-stack unwinder observes at this instant.
+func (t *Thread) CallStack() []lbr.IP { return t.stackIPs() }
+
+func (t *Thread) curIP() lbr.IP {
+	f := t.stack[len(t.stack)-1]
+	return lbr.IP{Fn: f.fn, Site: f.site}
+}
+
+func (t *Thread) stackIPs() []lbr.IP {
+	out := make([]lbr.IP, len(t.stack))
+	for i, f := range t.stack {
+		out[i] = lbr.IP{Fn: f.fn, Site: f.site}
+	}
+	return out
+}
+
+// opMeta carries PMU metadata for one operation.
+type opMeta struct {
+	ev      pmu.Event
+	n       uint64
+	hasEv   bool
+	addr    mem.Addr
+	isWrite bool
+	hasAddr bool
+}
+
+// op is the rendezvous at the heart of the simulation: it delivers any
+// pending asynchronous abort, runs the effect (which returns its cycle
+// cost), advances the clock and PMU counters, delivers counter
+// overflow interrupts, and yields to the scheduler.
+func (t *Thread) op(meta opMeta, effect func() uint64) {
+	if t.tx != nil && t.tx.Doomed {
+		t.abortNow() // asynchronous abort arrived between operations
+	}
+	cost := effect()
+	if t.tx != nil && t.tx.Doomed {
+		t.abortNow() // the effect doomed us (capacity, sync, explicit)
+	}
+	t.clock += cost
+	var over [2]pmu.Event
+	n := 0
+	if t.counters.Add(pmu.Cycles, cost) {
+		over[n] = pmu.Cycles
+		n++
+	}
+	if meta.hasEv && t.counters.Add(meta.ev, meta.n) {
+		over[n] = meta.ev
+		n++
+	}
+	if n > 0 && t.m.handler != nil {
+		t.deliverInterrupt(over[:n], meta)
+	}
+	t.yieldAndWait()
+}
+
+// rollback restores the architectural state to the XBEGIN point after
+// the engine doomed t.tx, records the LBR abort branch, charges the
+// hardware abort penalty, and updates abort instrumentation. It
+// reports whether the TxAbort PMU counter overflowed.
+func (t *Thread) rollback() (abortOverflow bool) {
+	tx := t.tx
+	cause := tx.AbortCause
+	weight := t.clock - tx.StartCycle + t.m.cfg.Costs.TxAbort
+	t.lbrBuf.Record(lbr.Entry{
+		Kind: lbr.KindAbort, From: t.curIP(), To: t.txBeginIP, Abort: true, InTSX: true,
+	})
+	t.stack = t.stack[:t.txStack]
+	t.stack[len(t.stack)-1].site = t.txSite
+	t.State = t.txState
+	t.txNest = 0
+	t.clock += t.m.cfg.Costs.TxAbort
+	t.counters.Add(pmu.Cycles, t.m.cfg.Costs.TxAbort)
+	t.aborts[cause]++
+	abortOverflow = t.counters.Add(pmu.TxAbort, 1)
+	t.lastAbort = AbortInfo{
+		Cause:        cause,
+		CapKind:      tx.CapKind,
+		Weight:       weight,
+		ConflictLine: tx.ConflictLine,
+		AbortedBy:    tx.AbortedBy,
+		AbortedByTx:  tx.AbortedByTx,
+	}
+	t.tx = nil
+	return abortOverflow
+}
+
+// abortNow completes an abort whose cause is already recorded in the
+// doomed transaction: roll back, deliver an RTM_RETIRED:ABORTED sample
+// if that counter overflowed, and unwind to Attempt.
+func (t *Thread) abortNow() {
+	truth := t.stackIPs()
+	from := t.curIP()
+	overflow := t.rollback()
+	if overflow && t.m.handler != nil {
+		t.deliverSamples([]pmu.Event{pmu.TxAbort}, from, truth, true, opMeta{})
+	}
+	panic(txAbortSentinel{})
+}
+
+// deliverInterrupt handles PMU counter overflow at the end of an
+// operation. If a transaction is running, the interrupt aborts it
+// first (the handler then observes the rolled-back state and an LBR
+// whose top entry has the abort bit set); otherwise the LBR records a
+// plain interrupt branch.
+func (t *Thread) deliverInterrupt(events []pmu.Event, meta opMeta) {
+	truth := t.stackIPs()
+	ip := t.curIP()
+	wasInTx := t.tx != nil
+	if wasInTx {
+		t.m.HTM.Doom(t.tx, htm.Interrupt, -1, 0)
+		// The abort retires before the PMI handler freezes the
+		// counters; if it overflows the TxAbort counter, a second
+		// interrupt is pending and delivers right after this one.
+		if t.rollback() {
+			events = append(append([]pmu.Event{}, events...), pmu.TxAbort)
+		}
+	} else {
+		t.lbrBuf.Record(lbr.Entry{Kind: lbr.KindInterrupt, From: ip, To: ip})
+	}
+	t.deliverSamples(events, ip, truth, wasInTx, meta)
+	if wasInTx {
+		panic(txAbortSentinel{})
+	}
+}
+
+// deliverSamples builds and dispatches one Sample per overflowed
+// event, freezing the LBR and counters for the duration and charging
+// the handler cost, exactly once per delivered sample.
+func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, wasInTx bool, meta opMeta) {
+	t.lbrBuf.Freeze()
+	t.counters.Freeze()
+	snapshot := t.lbrBuf.Snapshot()
+	for _, ev := range events {
+		s := &Sample{
+			Event:      ev,
+			TID:        t.ID,
+			Time:       t.clock,
+			IP:         ip,
+			LBR:        snapshot,
+			State:      t.State,
+			Stack:      t.stackIPs(),
+			TruthStack: truth,
+			TruthInTx:  wasInTx,
+		}
+		if meta.hasAddr && (ev == pmu.Loads || ev == pmu.Stores) {
+			s.Addr, s.IsWrite, s.HasAddr = meta.addr, meta.isWrite, true
+		}
+		if ev == pmu.TxAbort {
+			s.Abort = &t.lastAbort
+		}
+		t.m.handler.HandleSample(s)
+		t.clock += t.m.cfg.HandlerCost
+	}
+	t.counters.Unfreeze()
+	t.lbrBuf.Unfreeze()
+}
+
+// --- Operations available to workload bodies ---
+
+// Compute burns n cycles of local computation.
+func (t *Thread) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	t.op(opMeta{}, func() uint64 { return uint64(n) * t.m.cfg.Costs.Compute })
+}
+
+// Load reads the word at a, transactionally when a transaction is
+// active.
+func (t *Thread) Load(a mem.Addr) mem.Word {
+	var v mem.Word
+	pen := t.m.cfg.MemPenalty
+	t.op(opMeta{ev: pmu.Loads, n: 1, hasEv: true, addr: a, hasAddr: true}, func() uint64 {
+		if t.tx != nil {
+			buf, fromBuf := t.m.HTM.Read(t.tx, a)
+			if t.tx.Doomed {
+				return 0
+			}
+			r := t.m.Caches.Access(t.ID, a, false)
+			if fromBuf {
+				v = buf
+			} else {
+				v = t.m.Mem.Load(a)
+			}
+			return uint64(r.Latency) + pen
+		}
+		t.m.HTM.NonTxAccess(t.ID, a, false)
+		r := t.m.Caches.Access(t.ID, a, false)
+		v = t.m.Mem.Load(a)
+		return uint64(r.Latency) + pen
+	})
+	return v
+}
+
+// Store writes v to the word at a, transactionally when a transaction
+// is active (the store is buffered until commit).
+func (t *Thread) Store(a mem.Addr, v mem.Word) {
+	pen := t.m.cfg.MemPenalty
+	t.op(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, func() uint64 {
+		if t.tx != nil {
+			t.m.HTM.Write(t.tx, a, v)
+			if t.tx.Doomed {
+				return 0
+			}
+			r := t.m.Caches.Access(t.ID, a, true)
+			return uint64(r.Latency) + pen
+		}
+		t.m.HTM.NonTxAccess(t.ID, a, true)
+		r := t.m.Caches.Access(t.ID, a, true)
+		t.m.Mem.Store(a, v)
+		return uint64(r.Latency) + pen
+	})
+}
+
+// Add loads, adds d, and stores the word at a (two operations, as the
+// compiled code would issue).
+func (t *Thread) Add(a mem.Addr, d int64) mem.Word {
+	v := t.Load(a) + mem.Word(d)
+	t.Store(a, v)
+	return v
+}
+
+// AtomicCAS performs a compare-and-swap on the word at a as a single
+// locked operation. Inside a transaction it behaves like a normal
+// read-modify-write on the write set.
+func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
+	var ok bool
+	t.op(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, func() uint64 {
+		if t.tx != nil {
+			cur, fromBuf := t.m.HTM.Read(t.tx, a)
+			if t.tx.Doomed {
+				return 0
+			}
+			if !fromBuf {
+				cur = t.m.Mem.Load(a)
+			}
+			if cur == old {
+				t.m.HTM.Write(t.tx, a, new)
+				ok = !t.tx.Doomed
+			}
+			r := t.m.Caches.Access(t.ID, a, true)
+			return uint64(r.Latency) + t.m.cfg.Costs.Atomic
+		}
+		t.m.HTM.NonTxAccess(t.ID, a, true)
+		r := t.m.Caches.Access(t.ID, a, true)
+		if t.m.Mem.Load(a) == old {
+			t.m.Mem.Store(a, new)
+			ok = true
+		}
+		return uint64(r.Latency) + t.m.cfg.Costs.Atomic
+	})
+	return ok
+}
+
+// AtomicAdd atomically adds d to the word at a and returns the new
+// value.
+func (t *Thread) AtomicAdd(a mem.Addr, d int64) mem.Word {
+	var v mem.Word
+	t.op(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, func() uint64 {
+		if t.tx != nil {
+			cur, fromBuf := t.m.HTM.Read(t.tx, a)
+			if t.tx.Doomed {
+				return 0
+			}
+			if !fromBuf {
+				cur = t.m.Mem.Load(a)
+			}
+			v = cur + mem.Word(d)
+			t.m.HTM.Write(t.tx, a, v)
+			r := t.m.Caches.Access(t.ID, a, true)
+			return uint64(r.Latency) + t.m.cfg.Costs.Atomic
+		}
+		t.m.HTM.NonTxAccess(t.ID, a, true)
+		r := t.m.Caches.Access(t.ID, a, true)
+		v = t.m.Mem.Load(a) + mem.Word(d)
+		t.m.Mem.Store(a, v)
+		return uint64(r.Latency) + t.m.cfg.Costs.Atomic
+	})
+	return v
+}
+
+// Syscall executes a system call — an HTM-unfriendly instruction that
+// synchronously aborts a running transaction (paper §1).
+func (t *Thread) Syscall(kind string) {
+	t.op(opMeta{}, func() uint64 {
+		if t.tx != nil {
+			t.m.HTM.Doom(t.tx, htm.Sync, -1, 0)
+			return 0
+		}
+		return t.m.cfg.Costs.Syscall
+	})
+}
+
+// PageFault touches a cold page: an HTM-unfriendly event that
+// synchronously aborts a running transaction, like Syscall but with
+// the cost of a minor fault outside transactions (paper §1 lists page
+// faults among the synchronous abort causes; §5 suggests prefetching
+// as the fix).
+func (t *Thread) PageFault() {
+	t.op(opMeta{}, func() uint64 {
+		if t.tx != nil {
+			t.m.HTM.Doom(t.tx, htm.Sync, -1, 0)
+			return 0
+		}
+		return t.m.cfg.Costs.Syscall * 3 // fault handling round trip
+	})
+}
+
+// Call pushes a stack frame for fn and records the branch in the LBR.
+func (t *Thread) Call(fn string) {
+	t.op(opMeta{}, func() uint64 {
+		t.lbrBuf.Record(lbr.Entry{
+			Kind: lbr.KindCall, From: t.curIP(), To: lbr.IP{Fn: fn}, InTSX: t.tx != nil,
+		})
+		t.stack = append(t.stack, frame{fn: fn})
+		return t.m.cfg.Costs.Call
+	})
+}
+
+// Return pops the current frame and records the branch in the LBR.
+func (t *Thread) Return() {
+	t.op(opMeta{}, func() uint64 {
+		if len(t.stack) <= 1 {
+			panic("machine: Return with empty call stack")
+		}
+		from := t.curIP()
+		t.stack = t.stack[:len(t.stack)-1]
+		t.lbrBuf.Record(lbr.Entry{
+			Kind: lbr.KindReturn, From: from, To: t.curIP(), InTSX: t.tx != nil,
+		})
+		return t.m.cfg.Costs.Return
+	})
+}
+
+// Func runs f within a stack frame named fn. The matching Return is
+// intentionally skipped when f unwinds on a transaction abort: the
+// rollback restores the call stack, as hardware does.
+func (t *Thread) Func(fn string, f func()) {
+	t.Call(fn)
+	f()
+	t.Return()
+}
+
+// At annotates the current frame with a source-site label used for
+// sample attribution. It is free: no cycles, no scheduling point.
+func (t *Thread) At(site string) { t.stack[len(t.stack)-1].site = site }
+
+// --- Transactions ---
+
+// MaxTxNest is the architectural nesting limit; exceeding it aborts
+// the (flattened) transaction, as TSX's MAX_RTM_NEST_COUNT does.
+const MaxTxNest = 7
+
+// TxBegin starts a hardware transaction (XBEGIN). Nested begins
+// flatten into the outermost transaction, as on TSX; exceeding
+// MaxTxNest aborts. Most callers want Attempt or the rtm package
+// instead.
+func (t *Thread) TxBegin() {
+	t.op(opMeta{}, func() uint64 {
+		if t.tx != nil {
+			t.txNest++
+			if t.txNest >= MaxTxNest {
+				t.m.HTM.Doom(t.tx, htm.Explicit, -1, 0)
+			}
+			return t.m.cfg.Costs.TxBegin / 4 // nested XBEGIN is cheap
+		}
+		t.txNest = 0
+		t.tx = t.m.HTM.Begin(t.ID, t.clock)
+		t.txStack = len(t.stack)
+		t.txSite = t.stack[len(t.stack)-1].site
+		t.txState = t.State
+		t.txBeginIP = t.curIP()
+		return t.m.cfg.Costs.TxBegin
+	})
+}
+
+// TxCommit commits the running transaction (XEND), applying its
+// buffered stores to memory, or unwinds if it was doomed at the commit
+// point. A nested commit only decrements the flattened nesting depth.
+func (t *Thread) TxCommit() {
+	if t.tx != nil && !t.tx.Doomed && t.txNest > 0 {
+		t.op(opMeta{}, func() uint64 {
+			t.txNest--
+			return t.m.cfg.Costs.TxEnd / 4
+		})
+		return
+	}
+	t.op(opMeta{ev: pmu.TxCommit, n: 1, hasEv: true}, func() uint64 {
+		if t.tx == nil {
+			panic("machine: TxCommit outside a transaction")
+		}
+		stores, ok := t.m.HTM.Commit(t.tx)
+		if !ok {
+			return 0 // doomed: the post-effect check unwinds
+		}
+		for a, v := range stores {
+			t.m.Mem.Store(a, v)
+		}
+		t.commits++
+		t.tx = nil
+		return t.m.cfg.Costs.TxEnd
+	})
+}
+
+// TxAbort explicitly aborts the running transaction (XABORT).
+func (t *Thread) TxAbort() {
+	t.op(opMeta{}, func() uint64 {
+		if t.tx == nil {
+			panic("machine: TxAbort outside a transaction")
+		}
+		t.m.HTM.Doom(t.tx, htm.Explicit, -1, 0)
+		return 0
+	})
+}
+
+// Attempt executes body as one hardware transaction attempt. It
+// returns nil if the transaction committed, or the abort record. It is
+// the simulated equivalent of the XBEGIN status-check idiom:
+//
+//	if (_xbegin() == _XBEGIN_STARTED) { body; _xend(); }
+//	else { /* inspect abort status */ }
+//
+// Nested Attempts flatten into the outermost transaction: an abort
+// anywhere unwinds the whole flattened transaction to the outermost
+// Attempt, exactly as TSX rolls back to the outermost XBEGIN.
+func (t *Thread) Attempt(body func()) (abort *AbortInfo) {
+	outermost := t.tx == nil
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(txAbortSentinel); !ok {
+				panic(r)
+			}
+			if !outermost {
+				panic(r) // keep unwinding to the outermost XBEGIN
+			}
+			info := t.lastAbort
+			abort = &info
+		}
+	}()
+	t.TxBegin()
+	body()
+	t.TxCommit()
+	return nil
+}

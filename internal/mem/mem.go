@@ -1,0 +1,123 @@
+// Package mem provides the simulated physical memory for the machine:
+// a sparse, word-addressable address space plus cache-line arithmetic
+// and a bump allocator that workloads use to lay out their data.
+//
+// Addresses are byte addresses, as on real hardware, but all accesses
+// are performed at 8-byte word granularity. Cache lines are 64 bytes,
+// matching Intel TSX's conflict-detection granularity.
+package mem
+
+import "fmt"
+
+// Word is the machine word: every load and store moves one Word.
+type Word = uint64
+
+// Addr is a byte address in the simulated address space.
+type Addr uint64
+
+const (
+	// LineSize is the cache line size in bytes. Intel TSX detects
+	// conflicts at this granularity.
+	LineSize = 64
+	// WordSize is the access granularity in bytes.
+	WordSize = 8
+	// WordsPerLine is the number of words on one cache line.
+	WordsPerLine = LineSize / WordSize
+
+	pageShift = 16 // 64 KiB pages
+	pageBytes = 1 << pageShift
+	pageWords = pageBytes / WordSize
+	pageMask  = pageBytes - 1
+)
+
+// Line returns the cache line address containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// WordAligned reports whether a is aligned to the word size.
+func (a Addr) WordAligned() bool { return a%WordSize == 0 }
+
+// Offset returns a+i*WordSize: the address of the i'th word after a.
+func (a Addr) Offset(i int) Addr { return a + Addr(i)*WordSize }
+
+// LineIndex returns the global index of the cache line containing a.
+func (a Addr) LineIndex() uint64 { return uint64(a) / LineSize }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+type page [pageWords]Word
+
+// Memory is a sparse simulated physical memory. The zero value is not
+// usable; call NewMemory. Memory is not safe for concurrent use: the
+// machine's scheduler serializes all accesses.
+type Memory struct {
+	pages map[Addr]*page
+	brk   Addr // bump-allocator frontier
+}
+
+// NewMemory returns an empty memory whose allocator starts at a
+// non-zero base, so address 0 is never handed out and can act as a
+// sentinel.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[Addr]*page), brk: pageBytes}
+}
+
+func (m *Memory) pageFor(a Addr, create bool) *page {
+	base := a &^ Addr(pageMask)
+	p := m.pages[base]
+	if p == nil && create {
+		p = new(page)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// Load returns the word stored at a. Loading from never-written memory
+// returns zero, as hardware-zeroed pages would. Panics if a is not
+// word-aligned: simulated workloads are expected to be well-formed.
+func (m *Memory) Load(a Addr) Word {
+	mustAligned(a)
+	p := m.pageFor(a, false)
+	if p == nil {
+		return 0
+	}
+	return p[(a&pageMask)/WordSize]
+}
+
+// Store writes v to the word at a.
+func (m *Memory) Store(a Addr, v Word) {
+	mustAligned(a)
+	m.pageFor(a, true)[(a&pageMask)/WordSize] = v
+}
+
+// Alloc reserves n bytes and returns the base address, aligned to align
+// (which must be a power of two, at least WordSize). Allocations never
+// overlap and are never reclaimed: the simulator's workloads have
+// static footprints.
+func (m *Memory) Alloc(n int, align Addr) Addr {
+	if n <= 0 {
+		panic("mem: Alloc size must be positive")
+	}
+	if align < WordSize || align&(align-1) != 0 {
+		panic("mem: Alloc alignment must be a power of two >= WordSize")
+	}
+	base := (m.brk + align - 1) &^ (align - 1)
+	m.brk = base + Addr((n+WordSize-1)&^(WordSize-1))
+	return base
+}
+
+// AllocWords reserves n words aligned to a cache line and returns the
+// base address. This is the common case for workload arrays.
+func (m *Memory) AllocWords(n int) Addr { return m.Alloc(n*WordSize, LineSize) }
+
+// AllocLines reserves n full cache lines and returns the base address.
+// Use this when a structure must not share lines with its neighbours.
+func (m *Memory) AllocLines(n int) Addr { return m.Alloc(n*LineSize, LineSize) }
+
+// Footprint returns the number of bytes currently backed by pages.
+func (m *Memory) Footprint() int { return len(m.pages) * pageBytes }
+
+func mustAligned(a Addr) {
+	if !a.WordAligned() {
+		panic(fmt.Sprintf("mem: unaligned access at %s", a))
+	}
+}

@@ -1,0 +1,154 @@
+// Package profile implements TxSampler's on-disk profile database
+// (paper §6: "the analyzer records all the insights into files and
+// passes them to TxSampler's GUI for visualization"). A database holds
+// the merged calling-context tree with its per-context metrics, the
+// per-thread summaries, and the run metadata, serialized as JSON so
+// external viewers can consume it.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"txsampler/internal/analyzer"
+	"txsampler/internal/cct"
+	"txsampler/internal/core"
+	"txsampler/internal/lbr"
+	"txsampler/internal/pmu"
+)
+
+// FormatVersion identifies the database layout.
+const FormatVersion = 1
+
+// Node is one serialized calling context.
+type Node struct {
+	Fn       string       `json:"fn"`
+	Site     string       `json:"site,omitempty"`
+	Metrics  core.Metrics `json:"metrics"`
+	Children []*Node      `json:"children,omitempty"`
+}
+
+// Thread is one thread's §5 histogram entry.
+type Thread struct {
+	TID           int    `json:"tid"`
+	CommitSamples uint64 `json:"commits"`
+	AbortSamples  uint64 `json:"aborts"`
+}
+
+// Database is a complete serialized profile.
+type Database struct {
+	Version   int          `json:"version"`
+	Program   string       `json:"program"`
+	Threads   int          `json:"threads"`
+	Periods   [5]uint64    `json:"periods"`
+	Totals    core.Metrics `json:"totals"`
+	PerThread []Thread     `json:"per_thread"`
+	Root      *Node        `json:"cct"`
+}
+
+// FromReport converts an analyzer report into a database.
+func FromReport(r *analyzer.Report) *Database {
+	db := &Database{
+		Version: FormatVersion,
+		Program: r.Program,
+		Threads: r.Threads,
+		Totals:  r.Totals,
+	}
+	for i, p := range r.Periods {
+		if i < len(db.Periods) {
+			db.Periods[i] = p
+		}
+	}
+	for _, t := range r.PerThread {
+		db.PerThread = append(db.PerThread, Thread{TID: t.TID, CommitSamples: t.CommitSamples, AbortSamples: t.AbortSamples})
+	}
+	db.Root = fromNode(r.Merged.Root)
+	return db
+}
+
+func fromNode(n *core.Node) *Node {
+	out := &Node{Fn: n.Frame.Fn, Site: n.Frame.Site, Metrics: n.Data}
+	for _, c := range n.Children() {
+		out.Children = append(out.Children, fromNode(c))
+	}
+	return out
+}
+
+// Report reconstructs an analyzer report from a database; the merged
+// tree round-trips exactly, so downstream analyses (ranking, decision
+// tree) run identically on a loaded profile.
+func (db *Database) Report() *analyzer.Report {
+	r := &analyzer.Report{
+		Program: db.Program,
+		Threads: db.Threads,
+		Totals:  db.Totals,
+		Merged:  cct.NewTree[core.Metrics](),
+	}
+	var periods pmu.Periods
+	for i := range db.Periods {
+		if i < len(periods) {
+			periods[i] = db.Periods[i]
+		}
+	}
+	r.Periods = periods
+	for _, t := range db.PerThread {
+		r.PerThread = append(r.PerThread, analyzer.ThreadSummary{TID: t.TID, CommitSamples: t.CommitSamples, AbortSamples: t.AbortSamples})
+	}
+	if db.Root != nil {
+		r.Merged.Root.Data = db.Root.Metrics
+		attach(r.Merged.Root, db.Root.Children)
+	}
+	return r
+}
+
+func attach(parent *core.Node, children []*Node) {
+	for _, c := range children {
+		n := parent.Child(lbr.IP{Fn: c.Fn, Site: c.Site})
+		n.Data = c.Metrics
+		attach(n, c.Children)
+	}
+}
+
+// Write serializes the database as indented JSON.
+func (db *Database) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(db)
+}
+
+// Read parses a database and validates the version.
+func Read(r io.Reader) (*Database, error) {
+	var db Database
+	if err := json.NewDecoder(r).Decode(&db); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	if db.Version != FormatVersion {
+		return nil, fmt.Errorf("profile: unsupported version %d (want %d)", db.Version, FormatVersion)
+	}
+	return &db, nil
+}
+
+// Save writes the database to path.
+func (db *Database) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := db.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database from path.
+func Load(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,53 @@
+package rtm_test
+
+import (
+	"fmt"
+
+	"txsampler/internal/machine"
+	"txsampler/internal/rtm"
+)
+
+// ExampleLock_Run shows the paper's TM_BEGIN/TM_END idiom: four
+// threads increment a shared counter inside elided critical sections;
+// the total is exact regardless of aborts and fallbacks.
+func ExampleLock_Run() {
+	m := machine.New(machine.Config{Threads: 4, Seed: 1})
+	lock := rtm.NewLock(m)
+	counter := m.Mem.AllocWords(1)
+
+	err := m.RunAll(func(t *machine.Thread) {
+		for i := 0; i < 25; i++ {
+			lock.Run(t, func() {
+				v := t.Load(counter)
+				t.Compute(5)
+				t.Store(counter, v+1)
+			})
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("counter:", m.Mem.Load(counter))
+	fmt.Println("exact:", lock.Stats.Commits+lock.Stats.Fallbacks == 100)
+	// Output:
+	// counter: 100
+	// exact: true
+}
+
+// ExampleLock_RunHLE demonstrates hardware lock elision: the same
+// serialization guarantee with single-attempt elision.
+func ExampleLock_RunHLE() {
+	m := machine.New(machine.Config{Threads: 2, Seed: 1})
+	lock := rtm.NewLock(m)
+	counter := m.Mem.AllocWords(1)
+	if err := m.RunAll(func(t *machine.Thread) {
+		for i := 0; i < 10; i++ {
+			lock.RunHLE(t, func() { t.Add(counter, 1) })
+		}
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println("counter:", m.Mem.Load(counter))
+	// Output:
+	// counter: 20
+}

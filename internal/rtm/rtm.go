@@ -1,0 +1,318 @@
+// Package rtm is the RTM runtime library workloads link against: the
+// software side of Intel TSX lock elision. A critical section wrapped
+// in Run (the paper's TM_BEGIN/TM_END) first waits for the global
+// fallback lock to be free, then attempts the body as a hardware
+// transaction that reads the lock word into its read set (so a
+// fallback acquisition aborts it); after Policy.MaxRetries transient
+// aborts — or immediately on a persistent abort — it falls back to
+// acquiring the global lock and running the body non-speculatively.
+//
+// The package also implements the paper's ~21-line extension (§3.2):
+// a thread-private state word recording whether the thread is in a
+// critical section, transaction, fallback path, lock wait, or
+// transaction-overhead code, exposed to the profiler through a query
+// function. Updates inside the transaction roll back with it, so a
+// post-abort handler observes the pre-transaction state, as on real
+// hardware.
+package rtm
+
+import (
+	"txsampler/internal/htm"
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+// State word bits (paper §3.2).
+const (
+	// InCS: executing in a critical section.
+	InCS uint32 = 1 << iota
+	// InHTM: executing in a transaction path.
+	InHTM
+	// InFallback: executing in a fallback path.
+	InFallback
+	// InLockWaiting: waiting for the global lock to be available.
+	InLockWaiting
+	// InOverhead: initiating, retrying, or cleaning up a transaction.
+	InOverhead
+)
+
+// The query functions of the profiler-facing state API (Figure 4).
+
+// IsInCS reports whether the state word shows a critical section.
+func IsInCS(s uint32) bool { return s&InCS != 0 }
+
+// IsInFallback reports whether the state word shows the fallback path.
+func IsInFallback(s uint32) bool { return s&InFallback != 0 }
+
+// IsInLockWaiting reports whether the state word shows a lock wait.
+func IsInLockWaiting(s uint32) bool { return s&InLockWaiting != 0 }
+
+// IsInHTM reports whether the state word shows a transaction. A PMU
+// handler never observes this bit set for the sampled thread — the
+// interrupt's abort rolled the transactional update back — which is
+// precisely why the profiler needs the LBR abort bit (Challenge I).
+func IsInHTM(s uint32) bool { return s&InHTM != 0 }
+
+// Policy controls the retry behaviour of a critical section.
+type Policy struct {
+	// MaxRetries bounds retries of transient (conflict/interrupt)
+	// aborts before taking the fallback path. The paper's evaluation
+	// uses 5.
+	MaxRetries int
+	// RetryOnCapacity, if set, also retries capacity aborts. The
+	// paper's evaluation retries everything except persistent aborts
+	// such as system calls (§7), so this defaults to true; TSX's
+	// retry-bit heuristic would fall back immediately instead (see
+	// the ablation benchmarks).
+	RetryOnCapacity bool
+	// MaxLockBusy bounds consecutive lock-busy aborts (the explicit
+	// abort taken when the lock is observed held inside the
+	// transaction) before giving up and falling back.
+	MaxLockBusy int
+	// BackoffBase is the unit of the randomized exponential backoff
+	// inserted before conflict retries, in cycles. Without backoff,
+	// colliding transactions retry in lockstep and cascade into the
+	// fallback path (the "lemming effect"). Zero disables backoff.
+	BackoffBase int
+}
+
+// DefaultPolicy matches the paper's evaluation setup.
+func DefaultPolicy() Policy {
+	return Policy{MaxRetries: 5, RetryOnCapacity: true, MaxLockBusy: 50, BackoffBase: 30}
+}
+
+// Stats counts critical-section outcomes for one lock; exact ground
+// truth, not sampled.
+type Stats struct {
+	Commits   uint64
+	Fallbacks uint64
+	Aborts    map[htm.Cause]uint64
+	LockBusy  uint64 // explicit aborts because the lock was held
+}
+
+// EventKind enumerates the critical-section events an instrumenting
+// profiler intercepts (TSXProf's record phase, §9).
+type EventKind uint8
+
+const (
+	// EventBegin: a critical section was entered.
+	EventBegin EventKind = iota
+	// EventCommit: a transactional attempt committed.
+	EventCommit
+	// EventAbort: a transactional attempt aborted.
+	EventAbort
+	// EventFallback: the critical section ran under the lock.
+	EventFallback
+)
+
+// EventSink receives instrumentation callbacks from the RTM library.
+// Each delivery costs the instrumented thread PerEventCost cycles, the
+// overhead instrumentation-based tools pay per transaction instance.
+type EventSink interface {
+	TxEvent(t *machine.Thread, kind EventKind)
+	PerEventCost() int
+}
+
+// Lock is one elidable global lock protecting a set of critical
+// sections. The lock word occupies a dedicated cache line so that
+// false sharing never aborts transactions through the lock itself.
+type Lock struct {
+	Addr   mem.Addr
+	Policy Policy
+	Stats  Stats
+
+	// Sink, when set, receives begin/commit/abort/fallback events —
+	// the instrumentation hook record-and-replay tools need. Nil for
+	// normal (sampling-profiled or native) runs.
+	Sink EventSink
+
+	overheadCycles int // software bookkeeping burned per attempt
+}
+
+// emit delivers an instrumentation event and charges its cost.
+func (l *Lock) emit(t *machine.Thread, kind EventKind) {
+	if l.Sink == nil {
+		return
+	}
+	l.Sink.TxEvent(t, kind)
+	if c := l.Sink.PerEventCost(); c > 0 {
+		t.Compute(c)
+	}
+}
+
+// NewLock allocates a lock on machine m with the default policy.
+func NewLock(m *machine.Machine) *Lock {
+	return &Lock{
+		Addr:           m.Mem.AllocLines(1),
+		Policy:         DefaultPolicy(),
+		Stats:          Stats{Aborts: make(map[htm.Cause]uint64)},
+		overheadCycles: 25,
+	}
+}
+
+// Run executes body as one critical section on thread t: the paper's
+// TM_BEGIN(); body; TM_END(). The body runs either inside a hardware
+// transaction or, after exhausting retries, under the global lock; it
+// must be idempotent up to its memory writes, as any transactional
+// attempt may be discarded.
+//
+// Like a pthread mutex, the lock is not reentrant: nesting Run on the
+// SAME lock deadlocks if the outer section falls back to the lock
+// (the inner elision observes the self-held lock forever). Nesting on
+// distinct locks, or within machine.Attempt, flattens as TSX does.
+func (l *Lock) Run(t *machine.Thread, body func()) {
+	t.Func("tm_begin", func() { l.critical(t, body) })
+}
+
+func (l *Lock) critical(t *machine.Thread, body func()) {
+	l.emit(t, EventBegin)
+	retries, lockBusy := 0, 0
+	for {
+		// Transaction setup overhead (paper's T_oh component).
+		t.State = InCS | InOverhead
+		t.Compute(l.overheadCycles)
+
+		// Wait for the lock to be free before starting (Figure 2).
+		t.State = InCS | InLockWaiting
+		waited := false
+		for t.Load(l.Addr) != 0 {
+			t.Compute(2)
+			waited = true
+		}
+		if waited && l.Policy.BackoffBase > 0 {
+			// Desynchronize the herd released by the lock holder.
+			t.Compute(1 + t.Rand().Intn(4*l.Policy.BackoffBase))
+		}
+
+		t.State = InCS | InOverhead
+		sawLockHeld := false
+		abort := t.Attempt(func() {
+			t.State |= InHTM // transactional update; rolls back on abort
+			// Read the lock word into the read set: a fallback
+			// acquisition elsewhere now aborts this transaction.
+			if t.Load(l.Addr) != 0 {
+				sawLockHeld = true
+				t.TxAbort()
+			}
+			body()
+		})
+		if abort == nil {
+			// Committed. Clean up (overhead), leave the CS.
+			t.State = InCS | InOverhead
+			t.Compute(l.overheadCycles)
+			l.emit(t, EventCommit)
+			t.State = 0
+			l.Stats.Commits++
+			return
+		}
+
+		l.emit(t, EventAbort)
+		l.Stats.Aborts[abort.Cause]++
+		switch {
+		case sawLockHeld && abort.Cause == htm.Explicit:
+			l.Stats.LockBusy++
+			lockBusy++
+			if lockBusy <= l.Policy.MaxLockBusy {
+				continue // wait for the lock and try again
+			}
+		case abort.Cause.Retryable() && retries < l.Policy.MaxRetries:
+			retries++
+			l.backoff(t, retries)
+			continue
+		case abort.Cause == htm.Capacity && l.Policy.RetryOnCapacity && retries < l.Policy.MaxRetries:
+			retries++
+			l.backoff(t, retries)
+			continue
+		}
+		break // persistent abort or retries exhausted: fall back
+	}
+
+	// Fallback path: acquire the global lock. The CAS is a
+	// non-transactional write to the lock line, aborting every
+	// transaction that has read it — the serialization the paper's
+	// T_wait measures.
+	t.State = InCS | InLockWaiting
+	for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
+		for t.Load(l.Addr) != 0 {
+			t.Compute(2)
+		}
+	}
+	t.State = InCS | InFallback
+	body()
+	t.State = InCS | InOverhead
+	t.Store(l.Addr, 0) // release
+	l.emit(t, EventFallback)
+	t.State = 0
+	l.Stats.Fallbacks++
+}
+
+// backoff burns a randomized, exponentially growing pause before a
+// conflict retry; the state word shows transaction overhead.
+func (l *Lock) backoff(t *machine.Thread, retries int) {
+	if l.Policy.BackoffBase <= 0 {
+		return
+	}
+	window := l.Policy.BackoffBase << uint(retries-1)
+	t.State = InCS | InOverhead
+	t.Compute(1 + t.Rand().Intn(window))
+}
+
+// RunHLE executes body with hardware lock elision semantics (paper
+// §2): the lock acquisition is elided into a single transactional
+// attempt whose read set contains the lock word; any abort re-executes
+// the critical section under the real lock, with no retry loop —
+// exactly the XACQUIRE/XRELEASE behaviour. The state word is
+// maintained identically, so the profiler needs no HLE-specific code.
+func (l *Lock) RunHLE(t *machine.Thread, body func()) {
+	t.Func("hle_acquire", func() {
+		t.State = InCS | InLockWaiting
+		for t.Load(l.Addr) != 0 {
+			t.Compute(2)
+		}
+		t.State = InCS | InOverhead
+		abort := t.Attempt(func() {
+			t.State |= InHTM
+			if t.Load(l.Addr) != 0 {
+				t.TxAbort()
+			}
+			body()
+		})
+		if abort == nil {
+			t.State = 0
+			l.Stats.Commits++
+			return
+		}
+		l.Stats.Aborts[abort.Cause]++
+		// HLE retries by grabbing the real lock immediately.
+		t.State = InCS | InLockWaiting
+		for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
+			for t.Load(l.Addr) != 0 {
+				t.Compute(2)
+			}
+		}
+		t.State = InCS | InFallback
+		body()
+		t.State = InCS | InOverhead
+		t.Store(l.Addr, 0)
+		t.State = 0
+		l.Stats.Fallbacks++
+	})
+}
+
+// RunLocked executes body under the global lock without attempting a
+// transaction — the pure pthread-mutex baseline the paper's workloads
+// were ported from.
+func (l *Lock) RunLocked(t *machine.Thread, body func()) {
+	t.Func("lock_acquire", func() {
+		t.State = InCS | InLockWaiting
+		for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
+			for t.Load(l.Addr) != 0 {
+				t.Compute(2)
+			}
+		}
+		t.State = InCS | InFallback
+		body()
+		t.Store(l.Addr, 0)
+		t.State = 0
+	})
+}

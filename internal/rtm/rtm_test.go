@@ -1,0 +1,369 @@
+package rtm
+
+import (
+	"testing"
+
+	"txsampler/internal/htm"
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+func TestSingleThreadCommitsTransactionally(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	a := m.Mem.AllocWords(1)
+	err := m.RunAll(func(th *machine.Thread) {
+		for i := 0; i < 10; i++ {
+			l.Run(th, func() { th.Add(a, 1) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Mem.Load(a); v != 10 {
+		t.Fatalf("counter = %d, want 10", v)
+	}
+	if l.Stats.Commits != 10 || l.Stats.Fallbacks != 0 {
+		t.Fatalf("stats = %+v", l.Stats)
+	}
+}
+
+func TestContendedCounterIsExact(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 8, Seed: 5})
+	l := NewLock(m)
+	a := m.Mem.AllocWords(1)
+	const per = 100
+	err := m.RunAll(func(th *machine.Thread) {
+		for i := 0; i < per; i++ {
+			l.Run(th, func() {
+				v := th.Load(a)
+				th.Compute(10)
+				th.Store(a, v+1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Mem.Load(a); v != 8*per {
+		t.Fatalf("counter = %d, want %d (critical sections must serialize)", v, 8*per)
+	}
+	if l.Stats.Aborts[htm.Conflict] == 0 {
+		t.Fatal("expected conflict aborts under contention")
+	}
+}
+
+func TestSyncAbortGoesStraightToFallback(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	err := m.RunAll(func(th *machine.Thread) {
+		l.Run(th, func() { th.Syscall("write") })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", l.Stats.Fallbacks)
+	}
+	if l.Stats.Aborts[htm.Sync] != 1 {
+		t.Fatalf("sync aborts = %d, want exactly 1 (no retry of persistent aborts)", l.Stats.Aborts[htm.Sync])
+	}
+	// The fallback execution of the body performed the syscall without
+	// a transaction, so the machine saw exactly one app abort.
+	if got := m.GroundTruth().Aborts[htm.Sync]; got != 1 {
+		t.Fatalf("machine sync aborts = %d, want 1", got)
+	}
+}
+
+func TestCapacityAbortFallsBackWithoutRetry(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	l.Policy.RetryOnCapacity = false // TSX retry-bit heuristic
+	cache := m.Config().Cache
+	stride := mem.Addr(mem.LineSize * cache.Sets)
+	base := m.Mem.Alloc(int(stride)*(cache.Ways+2), mem.LineSize)
+	err := m.RunAll(func(th *machine.Thread) {
+		l.Run(th, func() {
+			for i := 0; i <= cache.Ways; i++ {
+				th.Store(base+mem.Addr(i)*stride, 1)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats.Aborts[htm.Capacity] != 1 || l.Stats.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want one capacity abort and one fallback", l.Stats)
+	}
+	// The fallback completed the stores.
+	for i := 0; i <= cache.Ways; i++ {
+		if m.Mem.Load(base+mem.Addr(i)*stride) != 1 {
+			t.Fatalf("fallback lost store %d", i)
+		}
+	}
+}
+
+func TestRetryOnCapacityPolicy(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	l.Policy.MaxRetries = 2
+	cache := m.Config().Cache
+	stride := mem.Addr(mem.LineSize * cache.Sets)
+	base := m.Mem.Alloc(int(stride)*(cache.Ways+2), mem.LineSize)
+	err := m.RunAll(func(th *machine.Thread) {
+		l.Run(th, func() {
+			for i := 0; i <= cache.Ways; i++ {
+				th.Store(base+mem.Addr(i)*stride, 1)
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats.Aborts[htm.Capacity] != 3 { // initial + 2 retries
+		t.Fatalf("capacity aborts = %d, want 3", l.Stats.Aborts[htm.Capacity])
+	}
+}
+
+func TestFallbackSerializesAgainstTransactions(t *testing.T) {
+	// One thread's body always syscalls (forcing the fallback lock);
+	// the other increments transactionally. The count must be exact:
+	// transactions must abort while the lock is held.
+	m := machine.New(machine.Config{Threads: 2, Seed: 11})
+	l := NewLock(m)
+	a := m.Mem.AllocWords(1)
+	const per = 60
+	err := m.Run(
+		func(th *machine.Thread) {
+			for i := 0; i < per; i++ {
+				l.Run(th, func() {
+					v := th.Load(a)
+					th.Syscall("log")
+					th.Store(a, v+1)
+				})
+			}
+		},
+		func(th *machine.Thread) {
+			for i := 0; i < per; i++ {
+				l.Run(th, func() {
+					v := th.Load(a)
+					th.Compute(30)
+					th.Store(a, v+1)
+				})
+			}
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Mem.Load(a); v != 2*per {
+		t.Fatalf("counter = %d, want %d", v, 2*per)
+	}
+	if l.Stats.Fallbacks < per {
+		t.Fatalf("fallbacks = %d, want >= %d", l.Stats.Fallbacks, per)
+	}
+}
+
+func TestStateWordLifecycle(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	var inBody uint32
+	err := m.RunAll(func(th *machine.Thread) {
+		l.Run(th, func() {
+			inBody = th.State
+			th.Compute(1)
+		})
+		if th.State != 0 {
+			panic("state word not cleared after critical section")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsInCS(inBody) || !IsInHTM(inBody) {
+		t.Fatalf("state in transactional body = %#x, want InCS|InHTM set", inBody)
+	}
+	if IsInFallback(inBody) || IsInLockWaiting(inBody) {
+		t.Fatalf("state in transactional body = %#x has fallback/waiting bits", inBody)
+	}
+}
+
+func TestStateWordInFallback(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	var states []uint32
+	err := m.RunAll(func(th *machine.Thread) {
+		l.Run(th, func() {
+			states = append(states, th.State)
+			th.Syscall("x") // first attempt aborts; second run is fallback
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 {
+		t.Fatalf("body ran %d times, want 2 (tx attempt + fallback)", len(states))
+	}
+	if !IsInHTM(states[0]) {
+		t.Fatalf("first run state = %#x, want InHTM", states[0])
+	}
+	if !IsInFallback(states[1]) || IsInHTM(states[1]) {
+		t.Fatalf("fallback run state = %#x, want InFallback without InHTM", states[1])
+	}
+}
+
+func TestConflictRetriesBounded(t *testing.T) {
+	// With MaxRetries=0, any conflict abort goes straight to fallback.
+	m := machine.New(machine.Config{Threads: 4, Seed: 2})
+	l := NewLock(m)
+	l.Policy.MaxRetries = 0
+	a := m.Mem.AllocWords(1)
+	err := m.RunAll(func(th *machine.Thread) {
+		for i := 0; i < 40; i++ {
+			l.Run(th, func() {
+				v := th.Load(a)
+				th.Compute(20)
+				th.Store(a, v+1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Mem.Load(a); v != 160 {
+		t.Fatalf("counter = %d, want 160", v)
+	}
+	if l.Stats.Fallbacks == 0 {
+		t.Fatal("MaxRetries=0 should produce fallbacks under contention")
+	}
+}
+
+func TestRunLockedBaselineIsExact(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 6, Seed: 9})
+	l := NewLock(m)
+	a := m.Mem.AllocWords(1)
+	err := m.RunAll(func(th *machine.Thread) {
+		for i := 0; i < 50; i++ {
+			l.RunLocked(th, func() {
+				v := th.Load(a)
+				th.Store(a, v+1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Mem.Load(a); v != 300 {
+		t.Fatalf("counter = %d, want 300", v)
+	}
+	if g := m.GroundTruth(); g.Commits != 0 {
+		t.Fatalf("RunLocked committed %d transactions, want 0", g.Commits)
+	}
+}
+
+func TestLockBusyAbortWaitsAndRetries(t *testing.T) {
+	// Thread 1 holds the fallback lock for a long body; thread 0's
+	// transactions observing the held lock must eventually commit
+	// (lock-busy aborts do not consume the retry budget).
+	m := machine.New(machine.Config{Threads: 2, Seed: 4})
+	l := NewLock(m)
+	a := m.Mem.AllocWords(1)
+	b := m.Mem.AllocWords(1)
+	err := m.Run(
+		func(th *machine.Thread) {
+			th.Compute(200) // let thread 1 grab the lock
+			for i := 0; i < 20; i++ {
+				l.Run(th, func() { th.Add(a, 1) })
+			}
+		},
+		func(th *machine.Thread) {
+			for i := 0; i < 10; i++ {
+				l.Run(th, func() {
+					th.Syscall("x") // forces fallback; holds the lock a while
+					th.Add(b, 1)
+					th.Compute(500)
+				})
+			}
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem.Load(a) != 20 || m.Mem.Load(b) != 10 {
+		t.Fatalf("a=%d b=%d, want 20,10", m.Mem.Load(a), m.Mem.Load(b))
+	}
+}
+
+func TestHLECommitsAndCountsExactly(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 6, Seed: 3})
+	l := NewLock(m)
+	a := m.Mem.AllocWords(1)
+	const per = 80
+	err := m.RunAll(func(th *machine.Thread) {
+		for i := 0; i < per; i++ {
+			l.RunHLE(th, func() {
+				v := th.Load(a)
+				th.Compute(10)
+				th.Store(a, v+1)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Mem.Load(a); v != 6*per {
+		t.Fatalf("counter = %d, want %d", v, 6*per)
+	}
+	if l.Stats.Commits+l.Stats.Fallbacks != 6*per {
+		t.Fatalf("commits+fallbacks = %d, want %d", l.Stats.Commits+l.Stats.Fallbacks, 6*per)
+	}
+}
+
+func TestHLEAbortGoesStraightToLock(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	runs := 0
+	err := m.RunAll(func(th *machine.Thread) {
+		l.RunHLE(th, func() {
+			runs++
+			th.Syscall("x")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("body ran %d times, want 2 (one elided attempt, one locked)", runs)
+	}
+	if l.Stats.Fallbacks != 1 || m.GroundTruth().Aborts[htm.Sync] != 1 {
+		t.Fatalf("stats = %+v", l.Stats)
+	}
+}
+
+func TestHLEStateWord(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	l := NewLock(m)
+	var states []uint32
+	err := m.RunAll(func(th *machine.Thread) {
+		l.RunHLE(th, func() {
+			states = append(states, th.State)
+			th.Syscall("x")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 2 || !IsInHTM(states[0]) || !IsInFallback(states[1]) {
+		t.Fatalf("states = %#x", states)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if p.MaxRetries != 5 {
+		t.Errorf("MaxRetries = %d, want 5 (paper §7)", p.MaxRetries)
+	}
+	if !p.RetryOnCapacity {
+		t.Error("capacity aborts retry by default (the paper's policy treats only sync aborts as persistent)")
+	}
+}

@@ -1,0 +1,176 @@
+package viewer
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"txsampler/internal/analyzer"
+	"txsampler/internal/core"
+	"txsampler/internal/decision"
+	"txsampler/internal/htm"
+)
+
+// htmlNode is one row of the HTML calling-context view.
+type htmlNode struct {
+	Depth    int
+	Label    string
+	TShare   float64 // % of critical-section samples (inclusive)
+	AWShare  float64 // % of application abort weight (inclusive)
+	CapShare float64 // % of capacity abort weight (inclusive)
+}
+
+type htmlThread struct {
+	TID             int
+	Commits, Aborts uint64
+	CommitPct       float64 // bar width
+	AbortPct        float64
+}
+
+type htmlReport struct {
+	Program  string
+	Threads  int
+	Rcs      float64
+	Tx, Fb   float64
+	Wait, Oh float64
+	RatioAC  float64
+	Conflict float64
+	Capacity float64
+	Sync     float64
+	Category string
+
+	Nodes     []htmlNode
+	PerThread []htmlThread
+	Steps     []decision.Step
+	Advice    []string
+}
+
+var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>TxSampler: {{.Program}}</title>
+<style>
+body { font-family: ui-monospace, monospace; margin: 2em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.5em; }
+table { border-collapse: collapse; }
+td, th { padding: 2px 10px; text-align: right; }
+td.scope { text-align: left; white-space: pre; }
+tr:hover { background: #f3f3f3; }
+.bar { display: inline-block; height: 10px; background: #4a78b8; }
+.abar { background: #c0504d; }
+.meta { color: #666; }
+li { margin: 2px 0; }
+</style></head><body>
+<h1>TxSampler profile: {{.Program}} ({{.Threads}} threads)</h1>
+<p class="meta">r_cs = {{printf "%.1f" .Rcs}}% &middot; in CS: tx {{printf "%.1f" .Tx}}%,
+fallback {{printf "%.1f" .Fb}}%, lock-wait {{printf "%.1f" .Wait}}%, overhead {{printf "%.1f" .Oh}}%
+&middot; abort/commit = {{printf "%.3f" .RatioAC}} &middot; {{.Category}}</p>
+<p class="meta">abort weight: conflict {{printf "%.1f" .Conflict}}%,
+capacity {{printf "%.1f" .Capacity}}%, sync {{printf "%.1f" .Sync}}%</p>
+
+<h2>Calling context view</h2>
+<table><tr><th>scope</th><th>CS time</th><th>abort weight</th><th>capacity</th></tr>
+{{range .Nodes}}<tr><td class="scope">{{.Label}}</td>
+<td>{{printf "%.1f" .TShare}}%</td><td>{{printf "%.1f" .AWShare}}%</td>
+<td>{{printf "%.1f" .CapShare}}%</td></tr>
+{{end}}</table>
+
+<h2>Per-thread commits / aborts (sampled)</h2>
+<table>{{range .PerThread}}<tr><td>t{{.TID}}</td>
+<td>{{.Commits}}</td><td><span class="bar" style="width:{{printf "%.0f" .CommitPct}}px"></span></td>
+<td>{{.Aborts}}</td><td><span class="bar abar" style="width:{{printf "%.0f" .AbortPct}}px"></span></td></tr>
+{{end}}</table>
+
+<h2>Decision tree walk (Figure 1)</h2>
+<ol>{{range .Steps}}<li>({{.ID}}) <b>{{.Node}}</b> — {{.Finding}}</li>{{end}}</ol>
+<h2>Suggestions</h2>
+<ul>{{range .Advice}}<li>{{.}}</li>{{end}}</ul>
+</body></html>
+`))
+
+// HTML renders a standalone HTML report for a profile: the
+// calling-context view, the per-thread histogram, and the decision
+// tree's advice — the paper's GUI deliverable as a single file.
+func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOptions) error {
+	opt = opt.withDefaults()
+	data := &htmlReport{
+		Program:  r.Program,
+		Threads:  r.Threads,
+		Rcs:      100 * r.Rcs(),
+		RatioAC:  r.AbortCommitRatio(),
+		Conflict: 100 * r.CauseShare(htm.Conflict),
+		Capacity: 100 * r.CauseShare(htm.Capacity),
+		Sync:     100 * r.CauseShare(htm.Sync),
+		Category: r.Categorize().String(),
+	}
+	tx, fb, wait, oh := r.TimeShares()
+	data.Tx, data.Fb, data.Wait, data.Oh = 100*tx, 100*fb, 100*wait, 100*oh
+
+	totalT := float64(r.Totals.T)
+	var totalAW float64
+	for c, v := range r.Totals.AbortWeight {
+		if htm.Cause(c) != htm.Interrupt {
+			totalAW += float64(v)
+		}
+	}
+	totalCap := float64(r.Totals.CapReadW + r.Totals.CapWriteW)
+	var rec func(n *core.Node, depth int)
+	rec = func(n *core.Node, depth int) {
+		if opt.MaxDepth > 0 && depth > opt.MaxDepth {
+			return
+		}
+		inc := subtreeMetrics(n)
+		var aw float64
+		for c, v := range inc.AbortWeight {
+			if htm.Cause(c) != htm.Interrupt {
+				aw += float64(v)
+			}
+		}
+		tShare := share(float64(inc.T), totalT)
+		awShare := share(aw, totalAW)
+		if depth > 0 && tShare < opt.MinShare && awShare < opt.MinShare {
+			return
+		}
+		label := n.Frame.String()
+		if depth == 0 {
+			label = "<thread root>"
+		}
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		data.Nodes = append(data.Nodes, htmlNode{
+			Depth: depth, Label: indent + label,
+			TShare:   100 * tShare,
+			AWShare:  100 * awShare,
+			CapShare: 100 * share(float64(inc.CapReadW+inc.CapWriteW), totalCap),
+		})
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(r.Merged.Root, 0)
+
+	var maxN uint64 = 1
+	for _, t := range r.PerThread {
+		if t.CommitSamples > maxN {
+			maxN = t.CommitSamples
+		}
+		if t.AbortSamples > maxN {
+			maxN = t.AbortSamples
+		}
+	}
+	for _, t := range r.PerThread {
+		data.PerThread = append(data.PerThread, htmlThread{
+			TID: t.TID, Commits: t.CommitSamples, Aborts: t.AbortSamples,
+			CommitPct: 200 * float64(t.CommitSamples) / float64(maxN),
+			AbortPct:  200 * float64(t.AbortSamples) / float64(maxN),
+		})
+	}
+	if advice != nil {
+		data.Steps = advice.Steps
+		data.Advice = advice.Suggestions
+	}
+	if err := htmlTemplate.Execute(w, data); err != nil {
+		return fmt.Errorf("viewer: %w", err)
+	}
+	return nil
+}

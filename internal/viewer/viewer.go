@@ -1,0 +1,175 @@
+// Package viewer renders profile databases for humans — the
+// text-mode analogue of the paper's GUI (§6): a calling-context view
+// with metric columns (Figure 9), and per-thread commit/abort
+// histograms for spotting imbalance (§5's contention metrics).
+package viewer
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"txsampler/internal/analyzer"
+	"txsampler/internal/core"
+	"txsampler/internal/htm"
+	"txsampler/internal/lbr"
+)
+
+// TreeOptions controls the calling-context view.
+type TreeOptions struct {
+	// MaxDepth prunes the tree (0 = unlimited).
+	MaxDepth int
+	// MinShare hides contexts holding less than this share of the
+	// total critical-section samples and abort weight (default 0.01).
+	MinShare float64
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MinShare == 0 {
+		o.MinShare = 0.01
+	}
+	return o
+}
+
+// Tree writes the calling-context view: every context's share of
+// critical-section time, abort weight, and capacity abort weight —
+// the columns of the paper's Figure 9 screenshot.
+func Tree(w io.Writer, r *analyzer.Report, opt TreeOptions) {
+	opt = opt.withDefaults()
+	totalT := float64(r.Totals.T)
+	var totalAW float64
+	for c, v := range r.Totals.AbortWeight {
+		if htm.Cause(c) != htm.Interrupt {
+			totalAW += float64(v)
+		}
+	}
+	totalCap := float64(r.Totals.CapReadW + r.Totals.CapWriteW)
+
+	fmt.Fprintf(w, "%-64s %9s %12s %14s\n", "scope", "CS time", "abort weight", "capacity abort")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 102))
+
+	var rec func(n *core.Node, depth int)
+	rec = func(n *core.Node, depth int) {
+		if opt.MaxDepth > 0 && depth > opt.MaxDepth {
+			return
+		}
+		// Inclusive metrics: sum over the subtree.
+		inc := subtreeMetrics(n)
+		var aw float64
+		for c, v := range inc.AbortWeight {
+			if htm.Cause(c) != htm.Interrupt {
+				aw += float64(v)
+			}
+		}
+		capW := float64(inc.CapReadW + inc.CapWriteW)
+		tShare := share(float64(inc.T), totalT)
+		awShare := share(aw, totalAW)
+		capShare := share(capW, totalCap)
+		if depth > 0 && tShare < opt.MinShare && awShare < opt.MinShare {
+			return
+		}
+		label := n.Frame.String()
+		if depth == 0 {
+			label = "<thread root>"
+		}
+		fmt.Fprintf(w, "%-64s %8.1f%% %11.1f%% %13.1f%%\n",
+			strings.Repeat("  ", depth)+label, 100*tShare, 100*awShare, 100*capShare)
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(r.Merged.Root, 0)
+}
+
+func share(v, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return v / total
+}
+
+func subtreeMetrics(n *core.Node) core.Metrics {
+	m := n.Data
+	for _, c := range n.Children() {
+		cm := subtreeMetrics(c)
+		m.Merge(&cm)
+	}
+	return m
+}
+
+// ContextHistogram plots one metric of one calling context across
+// threads — the paper GUI's "plotting per-thread metrics on any given
+// context" (§6), the view that exposes per-thread imbalance such as a
+// starving thread. The context is addressed by its function path;
+// metric extracts the value from the per-thread node.
+func ContextHistogram(w io.Writer, r *analyzer.Report, path []lbr.IP, metricName string, metric func(*core.Metrics) uint64) {
+	if r.Profiles == nil {
+		fmt.Fprintln(w, "per-thread trees unavailable (profile loaded from disk)")
+		return
+	}
+	const width = 40
+	values := make([]uint64, len(r.Profiles))
+	var maxV uint64 = 1
+	for i, p := range r.Profiles {
+		// Sum the metric over every node matching the path. A path
+		// element with an empty site matches any site of that
+		// function, and the value is inclusive of the subtree.
+		nodes := []*core.Node{p.Tree.Root}
+		for _, f := range path {
+			var next []*core.Node
+			for _, n := range nodes {
+				for _, c := range n.Children() {
+					if c.Frame.Fn == f.Fn && (f.Site == "" || c.Frame.Site == f.Site) {
+						next = append(next, c)
+					}
+				}
+			}
+			nodes = next
+		}
+		for _, n := range nodes {
+			m := subtreeMetrics(n)
+			values[i] += metric(&m)
+		}
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	var label strings.Builder
+	for i, f := range path {
+		if i > 0 {
+			label.WriteString(" > ")
+		}
+		label.WriteString(f.String())
+	}
+	fmt.Fprintf(w, "%s of %s across threads\n", metricName, label.String())
+	for i, v := range values {
+		n := int(v * width / maxV)
+		fmt.Fprintf(w, "  t%02d %-8d |%-*s|\n", i, v, width, strings.Repeat("#", n))
+	}
+}
+
+// Histogram writes the per-thread commit/abort bar chart the paper's
+// GUI plots for any context — here for the whole program — so
+// imbalance (e.g. a thread that always aborts the others) is visible
+// at a glance.
+func Histogram(w io.Writer, r *analyzer.Report) {
+	const width = 40
+	var maxV uint64 = 1
+	for _, t := range r.PerThread {
+		if t.CommitSamples > maxV {
+			maxV = t.CommitSamples
+		}
+		if t.AbortSamples > maxV {
+			maxV = t.AbortSamples
+		}
+	}
+	bar := func(v uint64) string {
+		n := int(v * width / maxV)
+		return strings.Repeat("#", n)
+	}
+	fmt.Fprintf(w, "per-thread commit/abort samples (imbalance %.2f)\n", r.Imbalance())
+	for _, t := range r.PerThread {
+		fmt.Fprintf(w, "  t%02d commits %-6d |%-*s|\n", t.TID, t.CommitSamples, width, bar(t.CommitSamples))
+		fmt.Fprintf(w, "      aborts  %-6d |%-*s|\n", t.AbortSamples, width, bar(t.AbortSamples))
+	}
+}
