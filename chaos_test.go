@@ -1,0 +1,175 @@
+package txsampler_test
+
+// Chaos suite: every fault-injection regime, run end to end through
+// the public API, must (a) never crash or hang, (b) be byte-identical
+// across runs with the same seed, (c) leave the profiler's
+// classification within 10 points of the fault-free baseline, and
+// (d) flag the profile as degraded exactly when faults actually fire.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/analyzer"
+	"txsampler/internal/faults"
+	"txsampler/internal/pmu"
+	"txsampler/internal/profile"
+)
+
+const (
+	chaosWorkload = "micro/mixed"
+	chaosThreads  = 4
+	chaosSeed     = 21
+)
+
+// chaosPeriods samples far more densely than DefaultPeriods so the
+// classification fractions carry thousands of samples: the ±10-point
+// tolerance then measures fault-induced bias, not sampling noise.
+func chaosPeriods() pmu.Periods {
+	var p pmu.Periods
+	p[pmu.Cycles] = 400
+	p[pmu.TxAbort] = 4
+	p[pmu.TxCommit] = 8
+	p[pmu.Loads] = 500
+	p[pmu.Stores] = 500
+	return p
+}
+
+func chaosRun(t *testing.T, plan faults.Plan) *txsampler.Result {
+	t.Helper()
+	res, err := txsampler.Run(chaosWorkload, txsampler.Options{
+		Threads: chaosThreads, Seed: chaosSeed, Profile: true, Faults: plan,
+		Periods: chaosPeriods(),
+	})
+	if err != nil {
+		t.Fatalf("plan %q: %v", plan, err)
+	}
+	return res
+}
+
+func serialize(t *testing.T, r *analyzer.Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profile.FromReport(r).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChaosRegimes(t *testing.T) {
+	clean := chaosRun(t, faults.Plan{})
+	if got := clean.Report.Quality.Degraded(); got != 0 {
+		t.Fatalf("fault-free run reports degradation: %d (%+v)", got, clean.Report.Quality)
+	}
+	cTx, cFb, cWait, cOh := clean.Report.TimeShares()
+	cleanRcs := clean.Report.Rcs()
+
+	for _, name := range faults.PresetNames() {
+		plan := faults.Presets[name]
+		t.Run(name, func(t *testing.T) {
+			// (a) No crash, no hang; the committed workload result is
+			// still validated by the workload's own Check.
+			res := chaosRun(t, plan)
+
+			// (d) The profile must say it is degraded, and the
+			// machine-side stats must show which regime fired.
+			q := res.Report.Quality
+			if q.Degraded() == 0 {
+				t.Fatalf("faults injected but Degraded() = 0: %+v", q)
+			}
+			if q.Injected.Total() == 0 {
+				t.Fatalf("plan %s fired no injector events", name)
+			}
+
+			// (b) Same seed, same plan: byte-identical profile.
+			again := chaosRun(t, plan)
+			if !bytes.Equal(serialize(t, res.Report), serialize(t, again.Report)) {
+				t.Fatal("same seed produced different profiles under injection")
+			}
+
+			// (c) Classification stays within 10 points of baseline:
+			// ambient faults may cost samples but must not reshuffle
+			// where the profiler says the time went.
+			tx, fb, wait, oh := res.Report.TimeShares()
+			for _, d := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"r_cs", res.Report.Rcs(), cleanRcs},
+				{"tx-share", tx, cTx},
+				{"fallback-share", fb, cFb},
+				{"wait-share", wait, cWait},
+				{"overhead-share", oh, cOh},
+			} {
+				if diff := math.Abs(d.got - d.want); diff > 0.10 {
+					t.Errorf("%s drifted %.3f (faulted %.3f vs clean %.3f)", d.name, diff, d.got, d.want)
+				}
+			}
+		})
+	}
+}
+
+func TestChaosQualityRoundTripsThroughDatabase(t *testing.T) {
+	res := chaosRun(t, faults.Presets["drops"])
+	db := profile.FromReport(res.Report)
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Report().Quality != res.Report.Quality {
+		t.Fatalf("quality lost in round trip: %+v vs %+v", back.Report().Quality, res.Report.Quality)
+	}
+	if back.Report().Quality.Degraded() == 0 {
+		t.Fatal("loaded profile no longer flagged degraded")
+	}
+}
+
+func TestChaosRenderMentionsDegradation(t *testing.T) {
+	res := chaosRun(t, faults.Presets["spurious"])
+	var buf bytes.Buffer
+	res.Report.Render(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("DEGRADED")) {
+		t.Fatalf("report omits degradation warning:\n%s", &buf)
+	}
+	clean := chaosRun(t, faults.Plan{})
+	buf.Reset()
+	clean.Report.Render(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("data quality: clean")) {
+		t.Fatalf("clean report missing quality line:\n%s", &buf)
+	}
+}
+
+func TestChaosInvalidPlanIsCleanError(t *testing.T) {
+	_, err := txsampler.Run(chaosWorkload, txsampler.Options{
+		Threads: chaosThreads, Seed: 1, Profile: true,
+		Faults: faults.Plan{SpuriousAbortRate: 2},
+	})
+	if err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+	if want := "spurious"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not name the bad field", err)
+	}
+}
+
+// Example of reading a chaos profile's quality programmatically.
+func ExampleResult_quality() {
+	res, err := txsampler.Run("micro/low-abort", txsampler.Options{
+		Threads: 2, Seed: 1, Profile: true,
+		Faults: faults.Plan{SampleDropRate: 0.5},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("degraded:", res.Report.Quality.Degraded() > 0)
+	// Output:
+	// degraded: true
+}

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"txsampler"
+	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
 	"txsampler/internal/tsxprof"
 )
@@ -26,8 +28,15 @@ func main() {
 		all     = flag.Bool("all", false, "run every workload")
 		suite   = flag.String("suite", "", "run every workload of one suite")
 		trace   = flag.String("trace", "", "record one workload and write a Chrome trace (chrome://tracing) to this path")
+		fplan   = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
 	)
 	flag.Parse()
+
+	plan, err := faults.ParsePlan(*fplan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htmbench: invalid -faults: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, w := range htmbench.All() {
@@ -78,7 +87,7 @@ func main() {
 	}
 
 	for _, name := range names {
-		res, err := txsampler.Run(name, txsampler.Options{Threads: *threads, Seed: *seed})
+		res, err := txsampler.Run(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 //	txsampler -threads 8 -seed 3 -tree -histogram stamp/vacation
 //	txsampler -o dedup.json parsec/dedup
 //	txsampler -view dedup.json
+//	txsampler -faults storm stamp/vacation
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"txsampler"
 	"txsampler/internal/core"
+	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
 	"txsampler/internal/lbr"
 	"txsampler/internal/profile"
@@ -39,8 +41,15 @@ func main() {
 		acc     = flag.Bool("accuracy", false, "score attribution accuracy against ground truth")
 		plot    = flag.String("plot", "", "plot per-thread CS time for a context path, e.g. 'thread_root>tm_begin'")
 		html    = flag.String("html", "", "write a standalone HTML report to this path")
+		fplan   = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
 	)
 	flag.Parse()
+
+	plan, err := faults.ParsePlan(*fplan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "txsampler: invalid -faults: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *view != "" {
 		db, err := profile.Load(*view)
@@ -53,6 +62,8 @@ func main() {
 		viewer.Tree(os.Stdout, r, viewer.TreeOptions{})
 		fmt.Println()
 		viewer.Histogram(os.Stdout, r)
+		fmt.Println()
+		viewer.DataQuality(os.Stdout, r)
 		return
 	}
 
@@ -68,7 +79,7 @@ func main() {
 	}
 	name := flag.Arg(0)
 	if *acc {
-		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed})
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -83,10 +94,13 @@ func main() {
 		return
 	}
 	res, err := txsampler.Run(name, txsampler.Options{
-		Threads: *threads, Seed: *seed, Profile: !*native,
+		Threads: *threads, Seed: *seed, Profile: !*native, Faults: plan,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if plan.Enabled() {
+		fmt.Printf("fault injection: %s\n", plan)
 	}
 
 	fmt.Printf("workload: %s (%d threads, seed %d)\n", res.Workload, res.Threads, *seed)
@@ -138,6 +152,8 @@ func main() {
 		}
 		fmt.Println()
 		res.Report.Render(os.Stdout)
+		fmt.Println()
+		viewer.DataQuality(os.Stdout, res.Report)
 		fmt.Println("\nper-thread commit/abort samples:")
 		for _, t := range res.Report.PerThread {
 			fmt.Printf("  thread %2d: commits=%-5d aborts=%d\n", t.TID, t.CommitSamples, t.AbortSamples)

@@ -47,6 +47,11 @@ type Report struct {
 	Profiles []*core.Profile
 
 	Periods pmu.Periods
+
+	// Quality reports how degraded the underlying data is: the
+	// collector's malformed/unresolvable-sample counters plus, when a
+	// frontend merged them in, the machine's fault-injection stats.
+	Quality core.DataQuality
 }
 
 // Analyze merges a collector's per-thread profiles with a reduction
@@ -58,6 +63,7 @@ func Analyze(program string, col *core.Collector) *Report {
 		Program: program,
 		Threads: len(profiles),
 		Periods: col.Periods(),
+		Quality: col.Quality(),
 	}
 	r.Profiles = profiles
 	trees := make([]*core.Tree, len(profiles))
@@ -139,7 +145,7 @@ const inf = 1e18
 func (r *Report) CauseShare(c htm.Cause) float64 {
 	var total uint64
 	for cc, w := range r.Totals.AbortWeight {
-		if htm.Cause(cc) != htm.Interrupt {
+		if !htm.Cause(cc).Ambient() {
 			total += w
 		}
 	}
@@ -151,7 +157,7 @@ func (r *Report) CauseShare(c htm.Cause) float64 {
 func (r *Report) MeanAbortWeight() float64 {
 	var w, n uint64
 	for c := range r.Totals.AbortWeight {
-		if htm.Cause(c) == htm.Interrupt {
+		if htm.Cause(c).Ambient() {
 			continue
 		}
 		w += r.Totals.AbortWeight[c]
@@ -235,7 +241,7 @@ func (r *Report) WastedWorkShare() float64 {
 	}
 	var wasted float64
 	for c, wgt := range r.Totals.AbortWeight {
-		if htm.Cause(c) != htm.Interrupt {
+		if !htm.Cause(c).Ambient() {
 			// Weights are sampled once per Periods[TxAbort] aborts.
 			wasted += float64(wgt) * float64(max64(r.Periods[pmu.TxAbort], 1))
 		}
@@ -333,7 +339,7 @@ func (r *Report) TopAbortWeight(k int) []HotContext {
 	return r.TopBy(k, func(m *core.Metrics) uint64 {
 		var w uint64
 		for c, v := range m.AbortWeight {
-			if htm.Cause(c) != htm.Interrupt {
+			if !htm.Cause(c).Ambient() {
 				w += v
 			}
 		}
@@ -372,6 +378,13 @@ func (r *Report) Render(w io.Writer) {
 		t.TrueSharing, t.FalseSharing, 100*r.FalseSharingShare())
 	fmt.Fprintf(w, "category: %s; commit imbalance=%.2f; wasted work=%.1f%%\n",
 		r.Categorize(), r.Imbalance(), 100*r.WastedWorkShare())
+	if q := r.Quality; q.Degraded() > 0 {
+		fmt.Fprintf(w, "data quality: DEGRADED (%d events): injected=%d malformed=%d unresolved-in-tx=%d inconsistent-state=%d dropped=%d coalesced=%d\n",
+			q.Degraded(), q.Injected.Total(), q.MalformedSamples, q.UnresolvedInTx,
+			q.InconsistentState, q.Injected.DroppedSamples, q.Injected.CoalescedSamples)
+	} else {
+		fmt.Fprintf(w, "data quality: clean (truncated in-tx paths: %d)\n", q.TruncatedPaths)
+	}
 	for _, ic := range r.ImbalancedContexts(5, 3.0) {
 		fmt.Fprintf(w, "imbalanced context (skew %.1f): %s\n", ic.Skew, HotContext{Frames: ic.Frames}.Path())
 	}

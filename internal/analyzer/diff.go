@@ -46,7 +46,7 @@ func Diff(before, after *Report, k int) []Delta {
 		r.Merged.Walk(func(n *core.Node, _ int) {
 			var aw uint64
 			for c, v := range n.Data.AbortWeight {
-				if htm.Cause(c) != htm.Interrupt {
+				if !htm.Cause(c).Ambient() {
 					aw += v
 				}
 			}

@@ -35,6 +35,23 @@ func DefaultConfig() Config {
 	return Config{Sets: 128, Ways: 8, HitLatency: 4, MissLatency: 60, RemoteLatency: 90}
 }
 
+// Validate reports whether the geometry and latency model are usable.
+// The zero Config is rejected; callers treating it as "use defaults"
+// must substitute DefaultConfig before validating.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: Sets %d must be a positive power of two", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: Ways %d must be positive", c.Ways)
+	}
+	if c.HitLatency < 0 || c.MissLatency < 0 || c.RemoteLatency < 0 {
+		return fmt.Errorf("cache: negative latency (hit=%d miss=%d remote=%d)",
+			c.HitLatency, c.MissLatency, c.RemoteLatency)
+	}
+	return nil
+}
+
 // SetIndex returns the L1 set a line maps to.
 func (c Config) SetIndex(line mem.Addr) int {
 	return int(line.LineIndex() % uint64(c.Sets))
@@ -136,8 +153,8 @@ func New(n int, cfg Config) *Hierarchy {
 	if n <= 0 || n > 64 {
 		panic(fmt.Sprintf("cache: core count %d out of range [1,64]", n))
 	}
-	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways <= 0 {
-		panic("cache: Sets must be a positive power of two and Ways positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	h := &Hierarchy{cfg: cfg, dir: make(map[mem.Addr]*dirEntry)}
 	for i := 0; i < n; i++ {

@@ -19,6 +19,7 @@ package core
 
 import (
 	"txsampler/internal/cct"
+	"txsampler/internal/faults"
 	"txsampler/internal/htm"
 	"txsampler/internal/lbr"
 	"txsampler/internal/machine"
@@ -96,16 +97,66 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.Truncated += src.Truncated
 }
 
-// AppAborts returns the sampled abort count excluding the
-// profiler-induced interrupt aborts.
+// AppAborts returns the sampled abort count excluding ambient aborts
+// (profiler-induced interrupts and spurious machine noise) that say
+// nothing about the application.
 func (m *Metrics) AppAborts() uint64 {
 	var n uint64
 	for c, v := range m.AbortCount {
-		if htm.Cause(c) != htm.Interrupt {
+		if !htm.Cause(c).Ambient() {
 			n += v
 		}
 	}
 	return n
+}
+
+// DataQuality summarizes how trustworthy a profile is: how much data
+// the machine injected faults into or lost before delivery, and how
+// many malformed or internally inconsistent samples the collector had
+// to degrade around. A clean, fault-free run reports all zeros except
+// possibly TruncatedPaths (LBR overflow on deep in-transaction call
+// paths is a real hardware limit, not a fault).
+type DataQuality struct {
+	// Injected aggregates the machine's fault-injection counters;
+	// all-zero when no fault plan was configured. Frontends fill it
+	// from machine.FaultStats after the run.
+	Injected faults.Stats `json:"injected"`
+
+	// Collector-side degradation evidence.
+
+	// MalformedSamples counts samples missing required payload (an
+	// abort sample without an abort record, an out-of-range thread)
+	// that were dropped rather than crashing the collector.
+	MalformedSamples uint64 `json:"malformed_samples"`
+	// UnresolvedInTx counts abort samples whose LBR no longer carried
+	// the abort-bit evidence, so the in-transaction calling context
+	// could not be rebuilt and the sample was attributed to the
+	// unwound stack only.
+	UnresolvedInTx uint64 `json:"unresolved_in_tx"`
+	// InconsistentState counts samples whose RTM state word
+	// contradicts hardware evidence (e.g. claims an uncommitted
+	// transaction is still live inside a PMU handler).
+	InconsistentState uint64 `json:"inconsistent_state"`
+	// TruncatedPaths counts in-transaction reconstructions that lost
+	// a path prefix to LBR capacity (also possible in clean runs).
+	TruncatedPaths uint64 `json:"truncated_paths"`
+}
+
+// Merge accumulates src into q.
+func (q *DataQuality) Merge(src DataQuality) {
+	q.Injected.Merge(src.Injected)
+	q.MalformedSamples += src.MalformedSamples
+	q.UnresolvedInTx += src.UnresolvedInTx
+	q.InconsistentState += src.InconsistentState
+	q.TruncatedPaths += src.TruncatedPaths
+}
+
+// Degraded returns the total count of strictly fault-driven
+// degradation events: non-zero exactly when faults corrupted or lost
+// data. TruncatedPaths is excluded because LBR overflow also happens
+// on fault-free runs.
+func (q DataQuality) Degraded() uint64 {
+	return q.Injected.Total() + q.MalformedSamples + q.UnresolvedInTx + q.InconsistentState
 }
 
 // Tree is the collector's calling context tree type, and Node its
@@ -129,6 +180,7 @@ type Profile struct {
 type Collector struct {
 	periods  pmu.Periods
 	profiles []*Profile
+	quality  DataQuality
 	// Shadow memory is shared across threads: contention is by
 	// definition a cross-thread phenomenon.
 	Shadow *shadow.Memory
@@ -160,15 +212,25 @@ func (c *Collector) Profiles() []*Profile { return c.profiles }
 // Periods returns the sampling periods the collector assumes.
 func (c *Collector) Periods() pmu.Periods { return c.periods }
 
+// Quality returns the collector-side data-quality counters (Injected
+// is zero here; frontends merge machine.FaultStats into it).
+func (c *Collector) Quality() DataQuality { return c.quality }
+
 // context derives the sample's calling context. For a sample that
 // aborted a transaction (LBR abort bit on the top entry) it
 // concatenates the unwound — rolled-back — stack, the begin_in_tx
 // pseudo-frame, and the LBR-reconstructed suffix; otherwise the
 // unwound stack already ends at the precise IP.
 func (c *Collector) context(s *machine.Sample) (frames []lbr.IP, inTx, truncated bool) {
+	stack := s.Stack
+	if len(stack) == 0 {
+		// A real unwinder can fail (corrupt frame pointers, signal on
+		// a bare stack); attribute to a placeholder rather than crash.
+		stack = []lbr.IP{{Fn: "unknown"}}
+	}
 	inTx = len(s.LBR) > 0 && s.LBR[0].Abort
 	if !inTx {
-		return s.Stack, false, false
+		return stack, false, false
 	}
 	suffix, trunc := cct.InTxPath(s.LBR)
 	// The precise IP refines the deepest frame: same function means
@@ -180,21 +242,38 @@ func (c *Collector) context(s *machine.Sample) (frames []lbr.IP, inTx, truncated
 	default:
 		suffix = append(suffix, s.IP)
 	}
-	frames = append(append(append([]lbr.IP{}, s.Stack...), BeginInTx), suffix...)
+	frames = append(append(append([]lbr.IP{}, stack...), BeginInTx), suffix...)
 	return frames, true, trunc
 }
 
 // HandleSample implements machine.SampleHandler with the paper's
 // Figure 4 algorithm plus the abort, commit, and contention analyses.
 func (c *Collector) HandleSample(s *machine.Sample) {
+	if s == nil || s.TID < 0 || s.TID >= len(c.profiles) {
+		// A sample the machine could never have produced; drop it
+		// rather than index out of range.
+		c.quality.MalformedSamples++
+		return
+	}
 	p := c.profiles[s.TID]
 	p.Samples++
+	if s.Event == pmu.TxAbort && rtm.IsInHTM(s.State) {
+		// An abort sample's state word is the rolled-back snapshot
+		// from XBEGIN, which can never carry the InHTM bit — the
+		// transactional update that set it was just discarded (§3.2).
+		// Seeing it means the state word is corrupt; classification
+		// proceeds but the profile is flagged. (Samples on the commit
+		// path may legitimately show InHTM: XEND makes the update
+		// durable and software clears it shortly after.)
+		c.quality.InconsistentState++
+	}
 	frames, inTx, truncated := c.context(s)
 	node := p.Tree.Path(frames)
 	m := &node.Data
 	if truncated {
 		m.Truncated++
 		p.Totals.Truncated++
+		c.quality.TruncatedPaths++
 	}
 
 	switch s.Event {
@@ -224,11 +303,26 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 
 	case pmu.TxAbort:
 		if s.Abort == nil {
+			// An RTM_RETIRED:ABORTED sample must carry an abort
+			// record; without one nothing can be classified.
+			c.quality.MalformedSamples++
+			return
+		}
+		if !inTx {
+			// A clean rollback always records the abort branch as the
+			// youngest LBR entry before the PMI freezes the buffer, so
+			// an abort sample without it means the LBR was corrupted
+			// or truncated: the in-transaction context is lost and the
+			// sample was attributed to the unwound stack only.
+			c.quality.UnresolvedInTx++
+		}
+		cause := s.Abort.Cause
+		if cause >= htm.NumCauses {
+			c.quality.MalformedSamples++
 			return
 		}
 		m.AbortSamples++
 		p.Totals.AbortSamples++
-		cause := s.Abort.Cause
 		m.AbortCount[cause]++
 		p.Totals.AbortCount[cause]++
 		m.AbortWeight[cause] += s.Abort.Weight

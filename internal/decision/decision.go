@@ -182,7 +182,7 @@ func Evaluate(r *analyzer.Report, th Thresholds) *Advice {
 		m := hot.Metrics
 		var total uint64
 		for c, w := range m.AbortWeight {
-			if htm.Cause(c) != htm.Interrupt {
+			if !htm.Cause(c).Ambient() {
 				total += w
 			}
 		}

@@ -1,0 +1,443 @@
+// Package faults is the deterministic fault-injection subsystem of the
+// simulated machine. Real TSX deployments are noisy in ways the clean
+// simulation is not: transactions suffer spurious transient aborts that
+// set no status bits, PMU interrupts are dropped or coalesced under
+// handler backpressure, LBR contents arrive truncated or stale, and
+// threads are preempted or observe clock skew. A Plan enables any
+// subset of these regimes; an Injector, seeded per thread and advanced
+// only at the machine's deterministic scheduling points, produces a
+// fault sequence that is a pure function of (seed, plan, workload) — so
+// chaos runs are exactly as reproducible as clean ones.
+//
+// The package has no dependency on the machine; the machine consults an
+// Injector at its operation and sample-delivery points.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"txsampler/internal/lbr"
+)
+
+// Plan configures the fault regimes. The zero value injects nothing.
+// All rates are per-decision-point probabilities in [0,1].
+type Plan struct {
+	// SpuriousAbortRate injects transient aborts into in-flight
+	// transactions, checked once per operation executed inside a
+	// transaction. They model real TSX's spurious aborts whose EAX
+	// status is completely clear (not even _XABORT_RETRY), yet which
+	// succeed when simply retried.
+	SpuriousAbortRate float64
+
+	// SampleDropRate drops delivered PMU samples (the overflow and any
+	// transaction abort it caused still happen; only the sample data is
+	// lost), modelling dropped PMI records under buffer pressure.
+	SampleDropRate float64
+	// CoalesceWindow, when non-zero, coalesces samples delivered within
+	// the window (in cycles) of the previous delivery on the same
+	// thread: the later sample is merged away, modelling interrupt
+	// coalescing under handler backpressure.
+	CoalesceWindow uint64
+
+	// LBR corruption regimes, checked once per sample delivery.
+	// LBRTruncateRate truncates the snapshot to a random shorter
+	// prefix; LBRStaleRate splices entries from an earlier snapshot
+	// over the tail (stale records from a prior transaction);
+	// LBRClearAbortRate clears the abort bit on LBR[0], hiding the
+	// evidence the profiler's in-transaction classification needs.
+	LBRTruncateRate   float64
+	LBRStaleRate      float64
+	LBRClearAbortRate float64
+
+	// StallRate preempts the thread for up to StallCycles cycles
+	// (uniform in [1, StallCycles]), checked once per operation —
+	// thread stalls and preemption bursts. StallCycles defaults to
+	// 5000 when a rate is set.
+	StallRate   float64
+	StallCycles uint64
+	// ClockSkewRate perturbs a delivered sample's timestamp by up to
+	// ±ClockSkewCycles cycles (default 2000), modelling cross-core TSC
+	// skew spikes. The thread's own clock is unaffected, so only
+	// time-keyed analyses (shadow-memory windows) observe the skew.
+	ClockSkewRate   float64
+	ClockSkewCycles uint64
+
+	// Storms inject bursty correlated faults: every StormPeriod
+	// operations a storm runs for StormLength operations during which
+	// every rate above is multiplied by StormFactor (default 10,
+	// capped so probabilities stay <= 1). StormPeriod = 0 disables
+	// storms.
+	StormPeriod uint64
+	StormLength uint64
+	StormFactor float64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool {
+	return p.SpuriousAbortRate > 0 || p.SampleDropRate > 0 || p.CoalesceWindow > 0 ||
+		p.LBRTruncateRate > 0 || p.LBRStaleRate > 0 || p.LBRClearAbortRate > 0 ||
+		p.StallRate > 0 || p.ClockSkewRate > 0
+}
+
+// Validate checks that every rate is a probability and the storm
+// geometry is coherent.
+func (p Plan) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"spurious", p.SpuriousAbortRate},
+		{"drop", p.SampleDropRate},
+		{"lbr-trunc", p.LBRTruncateRate},
+		{"lbr-stale", p.LBRStaleRate},
+		{"lbr-noabort", p.LBRClearAbortRate},
+		{"stall", p.StallRate},
+		{"skew", p.ClockSkewRate},
+	}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s rate %g outside [0,1]", r.name, r.v)
+		}
+	}
+	if p.StormFactor < 0 {
+		return fmt.Errorf("faults: storm factor %g negative", p.StormFactor)
+	}
+	if p.StormPeriod > 0 && p.StormLength == 0 {
+		return fmt.Errorf("faults: storm period set but storm length is zero")
+	}
+	if p.StormLength > p.StormPeriod && p.StormPeriod > 0 {
+		return fmt.Errorf("faults: storm length %d exceeds period %d", p.StormLength, p.StormPeriod)
+	}
+	return nil
+}
+
+func (p Plan) withDefaults() Plan {
+	if p.StallRate > 0 && p.StallCycles == 0 {
+		p.StallCycles = 5000
+	}
+	if p.ClockSkewRate > 0 && p.ClockSkewCycles == 0 {
+		p.ClockSkewCycles = 2000
+	}
+	if p.StormPeriod > 0 && p.StormFactor == 0 {
+		p.StormFactor = 10
+	}
+	return p
+}
+
+// String renders the plan in the key=value form ParsePlan accepts.
+func (p Plan) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	addU := func(k string, v uint64) {
+		if v > 0 {
+			parts = append(parts, k+"="+strconv.FormatUint(v, 10))
+		}
+	}
+	add("spurious", p.SpuriousAbortRate)
+	add("drop", p.SampleDropRate)
+	addU("coalesce", p.CoalesceWindow)
+	add("lbr-trunc", p.LBRTruncateRate)
+	add("lbr-stale", p.LBRStaleRate)
+	add("lbr-noabort", p.LBRClearAbortRate)
+	add("stall", p.StallRate)
+	addU("stall-cycles", p.StallCycles)
+	add("skew", p.ClockSkewRate)
+	addU("skew-cycles", p.ClockSkewCycles)
+	addU("storm-period", p.StormPeriod)
+	addU("storm-len", p.StormLength)
+	add("storm-factor", p.StormFactor)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Presets name ready-made plans for the CLI and the chaos suite.
+var Presets = map[string]Plan{
+	"spurious": {SpuriousAbortRate: 0.01},
+	"drops":    {SampleDropRate: 0.2, CoalesceWindow: 400},
+	"lbr":      {LBRTruncateRate: 0.1, LBRStaleRate: 0.05, LBRClearAbortRate: 0.05},
+	"sched":    {StallRate: 0.002, StallCycles: 4000, ClockSkewRate: 0.05, ClockSkewCycles: 2000},
+	"storm": {
+		SpuriousAbortRate: 0.002, SampleDropRate: 0.02, LBRTruncateRate: 0.01,
+		StormPeriod: 4000, StormLength: 400, StormFactor: 25,
+	},
+	"all": {
+		SpuriousAbortRate: 0.005, SampleDropRate: 0.1, CoalesceWindow: 300,
+		LBRTruncateRate: 0.05, LBRStaleRate: 0.02, LBRClearAbortRate: 0.02,
+		StallRate: 0.001, StallCycles: 3000, ClockSkewRate: 0.02,
+		StormPeriod: 8000, StormLength: 500, StormFactor: 10,
+	},
+}
+
+// PresetNames returns the preset names, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(Presets))
+	for n := range Presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePlan parses a comma-separated key=value fault specification,
+// e.g. "spurious=0.01,drop=0.2,storm-period=4000,storm-len=400".
+// A bare preset name ("spurious", "drops", "lbr", "sched", "storm",
+// "all") or "none" is also accepted. The result is validated.
+func ParsePlan(s string) (Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return Plan{}, nil
+	}
+	if p, ok := Presets[s]; ok {
+		return p, nil
+	}
+	var p Plan
+	for _, kv := range strings.Split(s, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found {
+			return Plan{}, fmt.Errorf("faults: %q is not key=value and not a preset (presets: %s)",
+				kv, strings.Join(PresetNames(), ", "))
+		}
+		fv, ferr := strconv.ParseFloat(val, 64)
+		uv, uerr := strconv.ParseUint(val, 10, 64)
+		switch key {
+		case "spurious":
+			p.SpuriousAbortRate = fv
+		case "drop":
+			p.SampleDropRate = fv
+		case "coalesce":
+			p.CoalesceWindow = uv
+			ferr = uerr
+		case "lbr-trunc":
+			p.LBRTruncateRate = fv
+		case "lbr-stale":
+			p.LBRStaleRate = fv
+		case "lbr-noabort":
+			p.LBRClearAbortRate = fv
+		case "stall":
+			p.StallRate = fv
+		case "stall-cycles":
+			p.StallCycles = uv
+			ferr = uerr
+		case "skew":
+			p.ClockSkewRate = fv
+		case "skew-cycles":
+			p.ClockSkewCycles = uv
+			ferr = uerr
+		case "storm-period":
+			p.StormPeriod = uv
+			ferr = uerr
+		case "storm-len":
+			p.StormLength = uv
+			ferr = uerr
+		case "storm-factor":
+			p.StormFactor = fv
+		default:
+			return Plan{}, fmt.Errorf("faults: unknown key %q", key)
+		}
+		if ferr != nil {
+			return Plan{}, fmt.Errorf("faults: bad value for %s: %q", key, val)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Stats counts the faults one injector actually delivered. The machine
+// aggregates per-thread stats into its fault report.
+type Stats struct {
+	SpuriousAborts   uint64 `json:"spurious_aborts,omitempty"`
+	DroppedSamples   uint64 `json:"dropped_samples,omitempty"`
+	CoalescedSamples uint64 `json:"coalesced_samples,omitempty"`
+	TruncatedLBRs    uint64 `json:"truncated_lbrs,omitempty"`
+	StaleLBRs        uint64 `json:"stale_lbrs,omitempty"`
+	ClearedAbortBits uint64 `json:"cleared_abort_bits,omitempty"`
+	Stalls           uint64 `json:"stalls,omitempty"`
+	StallCycles      uint64 `json:"stall_cycles,omitempty"`
+	ClockSkews       uint64 `json:"clock_skews,omitempty"`
+	StormOps         uint64 `json:"storm_ops,omitempty"`
+}
+
+// Merge accumulates src into s.
+func (s *Stats) Merge(src Stats) {
+	s.SpuriousAborts += src.SpuriousAborts
+	s.DroppedSamples += src.DroppedSamples
+	s.CoalescedSamples += src.CoalescedSamples
+	s.TruncatedLBRs += src.TruncatedLBRs
+	s.StaleLBRs += src.StaleLBRs
+	s.ClearedAbortBits += src.ClearedAbortBits
+	s.Stalls += src.Stalls
+	s.StallCycles += src.StallCycles
+	s.ClockSkews += src.ClockSkews
+	s.StormOps += src.StormOps
+}
+
+// Total returns the number of injected faults of every kind (storm ops
+// and stall cycles are bookkeeping, not faults, and are excluded).
+func (s Stats) Total() uint64 {
+	return s.SpuriousAborts + s.DroppedSamples + s.CoalescedSamples +
+		s.TruncatedLBRs + s.StaleLBRs + s.ClearedAbortBits + s.Stalls + s.ClockSkews
+}
+
+// Injector is one thread's fault source. It must only be used from the
+// owning thread's scheduling points, so its PRNG advances in the
+// machine's deterministic total order.
+type Injector struct {
+	plan  Plan
+	rng   uint64 // xorshift64 state; never zero
+	ops   uint64 // operations seen, drives the storm phase
+	last  uint64 // clock of the last delivered (not dropped) sample
+	any   bool   // a sample was delivered before
+	stale []lbr.Entry
+
+	Stats Stats
+}
+
+// NewInjector returns an injector for the plan, deterministically
+// seeded (seed is typically machineSeed mixed with the thread ID).
+// Returns nil for a plan that injects nothing, so the machine's hot
+// path can test a single pointer.
+func NewInjector(p Plan, seed uint64) *Injector {
+	p = p.withDefaults()
+	if !p.Enabled() {
+		return nil
+	}
+	rng := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	if rng == 0 {
+		rng = 0x9e3779b97f4a7c15
+	}
+	return &Injector{plan: p, rng: rng}
+}
+
+// next advances the xorshift64 PRNG.
+func (in *Injector) next() uint64 {
+	x := in.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	in.rng = x
+	return x
+}
+
+// chance returns true with probability p (scaled by the storm factor
+// when a storm is active).
+func (in *Injector) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if in.storming() {
+		p *= in.plan.StormFactor
+		if p > 1 {
+			p = 1
+		}
+	}
+	return float64(in.next()%1_000_000_000) < p*1_000_000_000
+}
+
+// storming reports whether the current operation falls in a storm
+// window.
+func (in *Injector) storming() bool {
+	return in.plan.StormPeriod > 0 && in.ops%in.plan.StormPeriod < in.plan.StormLength
+}
+
+// Tick advances the injector by one machine operation. It must be
+// called exactly once per operation, before any other query for that
+// operation.
+func (in *Injector) Tick() {
+	in.ops++
+	if in.storming() {
+		in.Stats.StormOps++
+	}
+}
+
+// SpuriousAbort reports whether the current in-transaction operation
+// suffers a spurious transient abort.
+func (in *Injector) SpuriousAbort() bool {
+	if !in.chance(in.plan.SpuriousAbortRate) {
+		return false
+	}
+	in.Stats.SpuriousAborts++
+	return true
+}
+
+// Stall returns the preemption penalty, in cycles, to add to the
+// thread's clock at this operation (0 = no stall).
+func (in *Injector) Stall() uint64 {
+	if in.plan.StallCycles == 0 || !in.chance(in.plan.StallRate) {
+		return 0
+	}
+	n := in.next()%in.plan.StallCycles + 1
+	in.Stats.Stalls++
+	in.Stats.StallCycles += n
+	return n
+}
+
+// DropSample reports whether the sample about to be delivered at the
+// given thread clock is lost — either dropped outright or coalesced
+// into the previous delivery. A dropped sample does not update the
+// backpressure window; a delivered one does.
+func (in *Injector) DropSample(now uint64) bool {
+	if in.plan.CoalesceWindow > 0 && in.any && now-in.last < in.plan.CoalesceWindow {
+		in.Stats.CoalescedSamples++
+		return true
+	}
+	if in.chance(in.plan.SampleDropRate) {
+		in.Stats.DroppedSamples++
+		return true
+	}
+	in.last = now
+	in.any = true
+	return false
+}
+
+// SkewTime perturbs a sample timestamp by up to ±ClockSkewCycles.
+func (in *Injector) SkewTime(now uint64) uint64 {
+	if in.plan.ClockSkewCycles == 0 || !in.chance(in.plan.ClockSkewRate) {
+		return now
+	}
+	in.Stats.ClockSkews++
+	d := in.next() % (2*in.plan.ClockSkewCycles + 1)
+	skewed := now + d
+	if skewed < in.plan.ClockSkewCycles {
+		return 0
+	}
+	return skewed - in.plan.ClockSkewCycles
+}
+
+// CorruptLBR applies the configured LBR corruption regimes to a
+// snapshot (most recent first) and remembers it as the stale source
+// for future corruptions. The input slice is owned by the caller and
+// is modified in place where possible.
+func (in *Injector) CorruptLBR(snapshot []lbr.Entry) []lbr.Entry {
+	if len(snapshot) > 0 && snapshot[0].Abort && in.chance(in.plan.LBRClearAbortRate) {
+		snapshot[0].Abort = false
+		in.Stats.ClearedAbortBits++
+	}
+	if len(snapshot) > 1 && in.chance(in.plan.LBRTruncateRate) {
+		keep := int(in.next()%uint64(len(snapshot)-1)) + 1
+		snapshot = snapshot[:keep]
+		in.Stats.TruncatedLBRs++
+	}
+	if len(in.stale) > 0 && len(snapshot) > 1 && in.chance(in.plan.LBRStaleRate) {
+		// Splice stale history over the tail: entries from an earlier
+		// snapshot appear beyond a random split point, exactly the
+		// misaligned window a late LBR freeze produces.
+		at := int(in.next()%uint64(len(snapshot)-1)) + 1
+		n := copy(snapshot[at:], in.stale)
+		snapshot = snapshot[:at+n]
+		in.Stats.StaleLBRs++
+	}
+	// Remember this (possibly corrupted) snapshot as future stale data.
+	in.stale = append(in.stale[:0], snapshot...)
+	return snapshot
+}

@@ -44,6 +44,13 @@ const (
 	// profiler itself and are reported separately from application
 	// aborts (paper §3.1).
 	Interrupt
+	// Spurious: an environment-injected transient abort with no cause
+	// visible to software — real TSX occasionally aborts with a fully
+	// clear EAX status (not even the retry bit) even though an
+	// immediate retry succeeds. Produced only by the fault-injection
+	// subsystem (internal/faults); like Interrupt, it is ambient noise
+	// and excluded from application abort classification.
+	Spurious
 
 	// NumCauses is the number of defined abort causes (including
 	// None), for metric arrays indexed by Cause.
@@ -64,6 +71,8 @@ func (c Cause) String() string {
 		return "explicit"
 	case Interrupt:
 		return "interrupt"
+	case Spurious:
+		return "spurious"
 	}
 	return "unknown"
 }
@@ -122,9 +131,16 @@ func CauseFromStatus(s uint32) Cause {
 
 // Retryable reports whether an abort with this cause may succeed if the
 // transaction is simply retried, mirroring the TSX "retry" status bit:
-// conflicts and interrupt-induced aborts are transient; capacity,
-// synchronous, and explicit aborts are persistent.
-func (c Cause) Retryable() bool { return c == Conflict || c == Interrupt }
+// conflicts, interrupt-induced aborts, and spurious aborts are
+// transient; capacity, synchronous, and explicit aborts are persistent.
+func (c Cause) Retryable() bool { return c == Conflict || c == Interrupt || c == Spurious }
+
+// Ambient reports whether the cause is environment noise rather than
+// application behaviour: profiler-induced interrupt aborts and
+// fault-injected spurious aborts. The analyzer excludes ambient causes
+// from application abort classification so profiles stay comparable
+// between clean and chaos runs.
+func (c Cause) Ambient() bool { return c == Interrupt || c == Spurious }
 
 // Config sizes the transactional tracking structures.
 type Config struct {
@@ -143,6 +159,17 @@ func (c Config) maxRead() int {
 		return c.MaxReadLines
 	}
 	return 4096
+}
+
+// Validate reports whether the tracking geometry is usable.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("htm: invalid geometry sets=%d ways=%d (both must be positive)", c.Sets, c.Ways)
+	}
+	if c.MaxReadLines < 0 {
+		return fmt.Errorf("htm: negative MaxReadLines %d", c.MaxReadLines)
+	}
+	return nil
 }
 
 // CapacityKind records which set overflowed on a capacity abort.
@@ -216,10 +243,12 @@ type Engine struct {
 	Aborts  map[Cause]uint64
 }
 
-// NewEngine returns an engine for the given tracking geometry.
+// NewEngine returns an engine for the given tracking geometry. Direct
+// API misuse panics; construct through a validated machine.Config (or
+// call Config.Validate first) for an error instead.
 func NewEngine(cfg Config) *Engine {
-	if cfg.Sets <= 0 || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("htm: invalid geometry sets=%d ways=%d", cfg.Sets, cfg.Ways))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return &Engine{
 		cfg:     cfg,

@@ -1,11 +1,30 @@
 package htmbench
 
 import (
+	"errors"
 	"fmt"
 
 	"txsampler/internal/machine"
 	"txsampler/internal/mem"
 )
+
+// ErrPoolExhausted matches any node-pool exhaustion failure via
+// errors.Is, including one that escaped a workload as a thread panic
+// and was wrapped by machine.Run.
+var ErrPoolExhausted = errors.New("htmbench: node pool exhausted")
+
+// PoolExhaustedError reports which thread's per-thread node pool ran
+// dry — a workload sizing bug, not a machine fault.
+type PoolExhaustedError struct {
+	TID int
+}
+
+func (e *PoolExhaustedError) Error() string {
+	return fmt.Sprintf("htmbench: node pool exhausted for thread %d", e.TID)
+}
+
+// Is makes errors.Is(err, ErrPoolExhausted) succeed.
+func (e *PoolExhaustedError) Is(target error) bool { return target == ErrPoolExhausted }
 
 // sameBodies returns n copies of body, for SPMD workloads.
 func sameBodies(n int, body func(*machine.Thread)) []func(*machine.Thread) {
@@ -59,13 +78,15 @@ func newNodePool(m *machine.Machine, threads, perThread int) *nodePool {
 
 // alloc returns the next node line for thread t, bumping the pointer
 // through the memory system (transactionally inside a transaction, so
-// aborted attempts release their nodes). Panics when the pool is
-// exhausted (a sizing bug in the workload).
+// aborted attempts release their nodes). Exhaustion (a sizing bug in
+// the workload) panics with a *PoolExhaustedError; machine.Run
+// converts the panic into an error matching ErrPoolExhausted instead
+// of crashing the process.
 func (p *nodePool) alloc(t *machine.Thread) mem.Addr {
 	cell := p.bump.at(t.ID)
 	i := t.Load(cell)
 	if int(i) >= p.perThread {
-		panic(fmt.Sprintf("htmbench: node pool exhausted for thread %d", t.ID))
+		panic(&PoolExhaustedError{TID: t.ID})
 	}
 	t.Store(cell, i+1)
 	return p.base + mem.Addr(t.ID*p.perThread+int(i))*mem.LineSize
@@ -77,7 +98,7 @@ func (p *nodePool) allocHost(m *machine.Machine, tid int) mem.Addr {
 	cell := p.bump.at(tid)
 	i := m.Mem.Load(cell)
 	if int(i) >= p.perThread {
-		panic(fmt.Sprintf("htmbench: node pool exhausted for thread %d", tid))
+		panic(&PoolExhaustedError{TID: tid})
 	}
 	m.Mem.Store(cell, i+1)
 	return p.base + mem.Addr(tid*p.perThread+int(i))*mem.LineSize

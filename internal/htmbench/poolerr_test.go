@@ -1,0 +1,50 @@
+package htmbench
+
+// Pool exhaustion must surface as a typed, matchable error — through
+// machine.Run for in-simulation allocation, and as a typed panic value
+// for host-side setup — instead of an anonymous panic string.
+
+import (
+	"errors"
+	"testing"
+
+	"txsampler/internal/machine"
+)
+
+func TestPoolExhaustionIsTypedThroughRun(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	pool := newNodePool(m, 1, 4)
+	err := m.RunAll(func(th *machine.Thread) {
+		for i := 0; i < 5; i++ { // one more than the pool holds
+			pool.alloc(th)
+		}
+	})
+	if err == nil {
+		t.Fatal("exhausting the pool returned nil")
+	}
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("errors.Is(err, ErrPoolExhausted) = false for %v", err)
+	}
+	var pe *PoolExhaustedError
+	if !errors.As(err, &pe) || pe.TID != 0 {
+		t.Fatalf("errors.As failed or wrong TID: %v", err)
+	}
+}
+
+func TestPoolExhaustionHostSide(t *testing.T) {
+	m := machine.New(machine.Config{Threads: 1})
+	pool := newNodePool(m, 1, 2)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("host-side exhaustion did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrPoolExhausted) {
+			t.Fatalf("panic value %v is not a pool-exhaustion error", r)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		pool.allocHost(m, 0)
+	}
+}

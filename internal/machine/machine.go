@@ -12,10 +12,15 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
 
 	"txsampler/internal/cache"
+	"txsampler/internal/faults"
 	"txsampler/internal/htm"
 	"txsampler/internal/mem"
 	"txsampler/internal/pmu"
@@ -65,6 +70,22 @@ type Config struct {
 	// per-access software instrumentation (the STM-style replay of
 	// record-and-replay profilers, §9).
 	MemPenalty uint64
+
+	// Faults configures deterministic fault injection (spurious
+	// aborts, PMU sample loss, LBR corruption, stalls, storms). The
+	// zero plan injects nothing; see the faults package.
+	Faults faults.Plan
+
+	// Watchdog bounds the real time the scheduler waits without any
+	// thread completing an operation before declaring the machine
+	// deadlocked and failing with a per-thread diagnostic dump
+	// instead of hanging forever. Zero selects the 30s default;
+	// negative disables the watchdog.
+	Watchdog time.Duration
+	// MaxCycles bounds simulated time: once the slowest live thread's
+	// clock exceeds it, the scheduler declares livelock and fails
+	// with a diagnostic dump. Zero means unbounded.
+	MaxCycles uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +105,30 @@ func (c Config) withDefaults() Config {
 		c.HandlerCost = 200
 	}
 	return c
+}
+
+// Validate reports the first problem with the configuration, after
+// defaulting, or nil. Frontends validate before construction so bad
+// flag combinations surface as clean errors; New panics on the same
+// conditions, treating them as API misuse.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.Threads < 1 || d.Threads > 64 {
+		return fmt.Errorf("machine: thread count %d out of range [1,64]", d.Threads)
+	}
+	if err := d.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.LBRDepth < 0 {
+		return fmt.Errorf("machine: negative LBR depth %d", c.LBRDepth)
+	}
+	if c.MaxReadLines < 0 {
+		return fmt.Errorf("machine: negative MaxReadLines %d", c.MaxReadLines)
+	}
+	if err := (htm.Config{Sets: d.Cache.Sets, Ways: d.Cache.Ways, MaxReadLines: d.MaxReadLines}).Validate(); err != nil {
+		return err
+	}
+	return c.Faults.Validate()
 }
 
 // Sampling reports whether any PMU event is enabled.
@@ -116,11 +161,13 @@ type Machine struct {
 }
 
 // New constructs a machine. The configuration is validated and
-// defaulted; see Config.
+// defaulted; see Config. Invalid configurations panic — callers
+// turning user input into a Config should call Config.Validate first
+// and report the error themselves.
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
-	if cfg.Threads < 1 || cfg.Threads > 64 {
-		panic(fmt.Sprintf("machine: thread count %d out of range [1,64]", cfg.Threads))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	m := &Machine{
 		cfg:    cfg,
@@ -172,11 +219,62 @@ func (m *Machine) RunAll(body func(*Thread)) error {
 	return m.Run(bodies...)
 }
 
+// DefaultWatchdog is the real-time no-progress bound the scheduler
+// applies when Config.Watchdog is zero.
+const DefaultWatchdog = 30 * time.Second
+
+// threadStatus is the scheduler's own record of a thread's state at
+// its most recent rendezvous. It is written only by the scheduler
+// goroutine (right after a yield, so the reads are synchronized by the
+// channel), which makes the watchdog's diagnostic dump race-free even
+// while a stuck thread goroutine is blocked in workload code.
+type threadStatus struct {
+	ops     uint64 // operations completed
+	clock   uint64
+	depth   int // call-stack depth
+	top     string
+	inTx    bool
+	txNest  int
+	state   uint32
+	yielded bool // reached at least one rendezvous
+	done    bool
+}
+
+func statusOf(t *Thread) threadStatus {
+	top := t.stack[len(t.stack)-1].fn
+	if site := t.stack[len(t.stack)-1].site; site != "" {
+		top += "@" + site
+	}
+	return threadStatus{
+		clock: t.clock, depth: len(t.stack), top: top,
+		inTx: t.tx != nil, txNest: t.txNest, state: t.State, yielded: true,
+	}
+}
+
 // schedule drives all threads: repeatedly grant one operation to the
-// live thread with the smallest clock (ties broken by thread ID).
+// live thread with the smallest clock (ties broken by thread ID). A
+// watchdog goroutine monitors rendezvous progress in real time; if a
+// thread is granted an operation and never yields (a deadlock in
+// workload or handler code), the scheduler fails with a per-thread
+// diagnostic dump instead of hanging forever. A cycle budget
+// (Config.MaxCycles) catches livelock the same way.
 func (m *Machine) schedule() error {
 	live := make([]*Thread, len(m.threads))
 	copy(live, m.threads)
+
+	status := make([]threadStatus, len(m.threads))
+	timeout := m.cfg.Watchdog
+	if timeout == 0 {
+		timeout = DefaultWatchdog
+	}
+	var progress atomic.Uint64
+	fired := make(chan struct{})
+	stop := make(chan struct{})
+	defer close(stop)
+	if timeout > 0 {
+		go watchdogLoop(timeout, &progress, fired, stop)
+	}
+
 	for len(live) > 0 {
 		t := live[0]
 		for _, c := range live[1:] {
@@ -184,14 +282,36 @@ func (m *Machine) schedule() error {
 				t = c
 			}
 		}
-		t.resume <- struct{}{}
-		msg := <-t.yield
+		if m.cfg.MaxCycles > 0 && t.clock > m.cfg.MaxCycles {
+			return fmt.Errorf("machine: watchdog: slowest live thread passed MaxCycles=%d without completing (livelock?)\n%s",
+				m.cfg.MaxCycles, dumpStatus(status, -1))
+		}
+		var msg yieldMsg
+		select {
+		case t.resume <- struct{}{}:
+		case <-fired:
+			return watchdogError(timeout, status, t)
+		}
+		select {
+		case msg = <-t.yield:
+		case <-fired:
+			return watchdogError(timeout, status, t)
+		}
+		progress.Add(1)
+		ops := status[t.ID].ops + 1
+		status[t.ID] = statusOf(t)
+		status[t.ID].ops = ops
 		if msg.done {
+			status[t.ID].done = true
 			if msg.panicked != nil {
 				// Fail fast: the dead thread may hold a spin lock
 				// other threads wait on forever. Remaining thread
 				// goroutines stay parked and are collected with the
-				// machine.
+				// machine. Wrap error panic values so callers can
+				// errors.Is/As typed workload failures.
+				if err, ok := msg.panicked.(error); ok {
+					return fmt.Errorf("machine: thread %d panicked: %w", t.ID, err)
+				}
 				return fmt.Errorf("machine: thread %d panicked: %v", t.ID, msg.panicked)
 			}
 			for i, c := range live {
@@ -203,6 +323,78 @@ func (m *Machine) schedule() error {
 		}
 	}
 	return nil
+}
+
+// watchdogLoop fires when no rendezvous completes for a whole timeout
+// window (so it triggers between timeout and 2x timeout of genuine
+// no-progress).
+func watchdogLoop(timeout time.Duration, progress *atomic.Uint64, fired, stop chan struct{}) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	last := progress.Load()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+			if cur := progress.Load(); cur != last {
+				last = cur
+				timer.Reset(timeout)
+				continue
+			}
+			close(fired)
+			return
+		}
+	}
+}
+
+func watchdogError(timeout time.Duration, status []threadStatus, granted *Thread) error {
+	return errors.New("machine: watchdog: no scheduler progress for " + timeout.String() +
+		"; thread " + fmt.Sprint(granted.ID) +
+		" was granted an operation and never yielded (deadlock in workload or handler code)\n" +
+		dumpStatus(status, granted.ID))
+}
+
+// dumpStatus renders the per-thread diagnostic dump from the
+// scheduler's rendezvous snapshots. stuck is the granted-but-silent
+// thread, or -1.
+func dumpStatus(status []threadStatus, stuck int) string {
+	var b strings.Builder
+	b.WriteString("per-thread state at last rendezvous:")
+	for i, st := range status {
+		fmt.Fprintf(&b, "\n  thread %2d:", i)
+		if !st.yielded {
+			b.WriteString(" never reached a rendezvous")
+		} else {
+			fmt.Fprintf(&b, " clock=%d ops=%d stack-depth=%d top=%s in-tx=%v", st.clock, st.ops, st.depth, st.top, st.inTx)
+			if st.txNest > 0 {
+				fmt.Fprintf(&b, " tx-nest=%d", st.txNest)
+			}
+			fmt.Fprintf(&b, " state=%#x", st.state)
+		}
+		switch {
+		case st.done:
+			b.WriteString(" [finished]")
+		case i == stuck:
+			b.WriteString(" [granted, did not yield]")
+		default:
+			b.WriteString(" [waiting for grant]")
+		}
+	}
+	return b.String()
+}
+
+// FaultStats aggregates the fault-injection statistics of every
+// thread's injector. All-zero when no fault plan was configured. Call
+// after Run.
+func (m *Machine) FaultStats() faults.Stats {
+	var s faults.Stats
+	for _, t := range m.threads {
+		if t.inj != nil {
+			s.Merge(t.inj.Stats)
+		}
+	}
+	return s
 }
 
 // Elapsed returns the makespan: the largest thread clock.

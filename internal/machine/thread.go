@@ -3,6 +3,7 @@ package machine
 import (
 	"math/rand"
 
+	"txsampler/internal/faults"
 	"txsampler/internal/htm"
 	"txsampler/internal/lbr"
 	"txsampler/internal/mem"
@@ -49,6 +50,7 @@ type Thread struct {
 	lbrBuf   *lbr.Buffer
 	counters pmu.Counters
 	rng      *rand.Rand
+	inj      *faults.Injector // nil unless Config.Faults is enabled
 
 	// Transaction state.
 	tx        *htm.Tx
@@ -83,6 +85,7 @@ func newThread(m *Machine, id int) *Thread {
 		yield:  make(chan yieldMsg),
 	}
 	t.counters.SetPeriods(m.cfg.Periods)
+	t.inj = faults.NewInjector(m.cfg.Faults, uint64(m.cfg.Seed)*64+uint64(id)+1)
 	if m.cfg.StartSkew > 0 {
 		// Sampling-period jitter accompanies start skew: both break
 		// the lock-step artifacts a fully deterministic machine
@@ -175,6 +178,21 @@ type opMeta struct {
 func (t *Thread) op(meta opMeta, effect func() uint64) {
 	if t.tx != nil && t.tx.Doomed {
 		t.abortNow() // asynchronous abort arrived between operations
+	}
+	if t.inj != nil {
+		t.inj.Tick()
+		if n := t.inj.Stall(); n > 0 {
+			// Interference stall: simulated time passes but no
+			// instructions retire, so the PMU counters do not advance.
+			t.clock += n
+		}
+		if t.tx != nil && t.inj.SpuriousAbort() {
+			// Transient microarchitectural abort: the status word
+			// reports nothing (no _XABORT_* bit set), as real TSX does
+			// for TLB shootdowns, uncore interference, and similar.
+			t.m.HTM.Doom(t.tx, htm.Spurious, -1, 0)
+			t.abortNow()
+		}
 	}
 	cost := effect()
 	if t.tx != nil && t.tx.Doomed {
@@ -274,11 +292,25 @@ func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, w
 	t.lbrBuf.Freeze()
 	t.counters.Freeze()
 	snapshot := t.lbrBuf.Snapshot()
+	if t.inj != nil {
+		snapshot = t.inj.CorruptLBR(snapshot)
+	}
 	for _, ev := range events {
+		if t.inj != nil && t.inj.DropSample(t.clock) {
+			// The PMI was lost or coalesced away: the machine-level
+			// perturbation already happened (an in-flight transaction
+			// was aborted by the interrupt), but the profiler never
+			// sees the sample and pays no handler cost.
+			continue
+		}
+		now := t.clock
+		if t.inj != nil {
+			now = t.inj.SkewTime(now)
+		}
 		s := &Sample{
 			Event:      ev,
 			TID:        t.ID,
-			Time:       t.clock,
+			Time:       now,
 			IP:         ip,
 			LBR:        snapshot,
 			State:      t.State,

@@ -1,0 +1,89 @@
+package machine
+
+// Scheduler watchdog: a machine must never hang. A thread that blocks
+// in workload code without yielding (deadlock) or spins forever
+// (livelock) is detected and reported with a per-thread diagnostic
+// dump instead.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"txsampler/internal/mem"
+)
+
+func TestWatchdogDetectsBlockedThread(t *testing.T) {
+	m := New(Config{Threads: 2, Watchdog: 100 * time.Millisecond})
+	block := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Run(
+			func(th *Thread) {
+				for i := 0; i < 1000; i++ {
+					th.Compute(1)
+				}
+			},
+			func(th *Thread) {
+				th.Compute(1)
+				<-block // deadlock: never yields again
+			},
+		)
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil for a deadlocked workload")
+		}
+		for _, want := range []string{"watchdog", "did not yield", "per-thread state", "thread  1"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error missing %q:\n%s", want, err)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watchdog never fired; scheduler hung")
+	}
+	close(block)
+}
+
+func TestWatchdogDetectsLockDeadlock(t *testing.T) {
+	// Two threads deadlock on simulated spin locks (lock-order
+	// inversion): both keep yielding, so only the cycle budget can
+	// catch it.
+	m := New(Config{Threads: 2, MaxCycles: 200_000})
+	a := m.Mem.AllocLines(1)
+	b := m.Mem.AllocLines(1)
+	lock := func(th *Thread, addr mem.Addr) {
+		for !th.AtomicCAS(addr, 0, 1) {
+			th.Compute(2)
+		}
+	}
+	body := func(first, second mem.Addr) func(*Thread) {
+		return func(th *Thread) {
+			lock(th, first)
+			th.Compute(50)
+			lock(th, second) // never acquired: the other thread holds it
+			th.Store(second, 0)
+			th.Store(first, 0)
+		}
+	}
+	err := m.Run(body(a, b), body(b, a))
+	if err == nil {
+		t.Fatal("Run returned nil for livelocked workload")
+	}
+	if !strings.Contains(err.Error(), "MaxCycles") || !strings.Contains(err.Error(), "per-thread state") {
+		t.Fatalf("error missing livelock diagnostics:\n%s", err)
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	// A short watchdog must not fire while threads make progress.
+	m := New(Config{Threads: 4, Watchdog: 250 * time.Millisecond, MaxCycles: 50_000_000})
+	if err := m.RunAll(func(th *Thread) {
+		for i := 0; i < 5000; i++ {
+			th.Compute(3)
+		}
+	}); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+}

@@ -39,13 +39,14 @@ type Thread struct {
 
 // Database is a complete serialized profile.
 type Database struct {
-	Version   int          `json:"version"`
-	Program   string       `json:"program"`
-	Threads   int          `json:"threads"`
-	Periods   [5]uint64    `json:"periods"`
-	Totals    core.Metrics `json:"totals"`
-	PerThread []Thread     `json:"per_thread"`
-	Root      *Node        `json:"cct"`
+	Version   int              `json:"version"`
+	Program   string           `json:"program"`
+	Threads   int              `json:"threads"`
+	Periods   [5]uint64        `json:"periods"`
+	Totals    core.Metrics     `json:"totals"`
+	Quality   core.DataQuality `json:"quality"`
+	PerThread []Thread         `json:"per_thread"`
+	Root      *Node            `json:"cct"`
 }
 
 // FromReport converts an analyzer report into a database.
@@ -55,6 +56,7 @@ func FromReport(r *analyzer.Report) *Database {
 		Program: r.Program,
 		Threads: r.Threads,
 		Totals:  r.Totals,
+		Quality: r.Quality,
 	}
 	for i, p := range r.Periods {
 		if i < len(db.Periods) {
@@ -84,6 +86,7 @@ func (db *Database) Report() *analyzer.Report {
 		Program: db.Program,
 		Threads: db.Threads,
 		Totals:  db.Totals,
+		Quality: db.Quality,
 		Merged:  cct.NewTree[core.Metrics](),
 	}
 	var periods pmu.Periods

@@ -1,0 +1,102 @@
+package rtm
+
+// Adaptive policy: under a storm of ambient aborts (spurious machine
+// noise the application cannot fix by retrying), the lock must detect
+// the storm, shed its retry budget, and recover once commits resume.
+
+import (
+	"testing"
+
+	"txsampler/internal/faults"
+	"txsampler/internal/htm"
+	"txsampler/internal/machine"
+)
+
+func TestAdaptivePolicyDefaults(t *testing.T) {
+	p := AdaptivePolicy()
+	if !p.Adaptive || p.stormThreshold() != 16 || p.stormRetries() != 1 {
+		t.Fatalf("unexpected adaptive defaults: %+v", p)
+	}
+	if d := DefaultPolicy(); d.Adaptive {
+		t.Fatal("DefaultPolicy must not enable storm shedding")
+	}
+}
+
+func TestStormDetectorStateMachine(t *testing.T) {
+	l := &Lock{Policy: AdaptivePolicy()}
+	l.Policy.StormThreshold = 3
+	for i := 0; i < 2; i++ {
+		l.noteOutcome(false, htm.Spurious)
+	}
+	if l.Storming() {
+		t.Fatal("storm declared below threshold")
+	}
+	// An application-caused abort breaks the ambient streak.
+	l.noteOutcome(false, htm.Conflict)
+	l.noteOutcome(false, htm.Spurious)
+	l.noteOutcome(false, htm.Interrupt)
+	if l.Storming() {
+		t.Fatal("streak not reset by application abort")
+	}
+	l.noteOutcome(false, htm.Spurious)
+	if !l.Storming() || l.Stats.StormsDetected != 1 {
+		t.Fatalf("storm not detected at threshold: storming=%v stats=%+v", l.Storming(), l.Stats)
+	}
+	if got := l.maxRetries(); got != 1 {
+		t.Fatalf("retry budget in storm = %d, want 1", got)
+	}
+	// A commit ends the storm and restores the budget.
+	l.noteOutcome(true, htm.None)
+	if l.Storming() || l.maxRetries() != l.Policy.MaxRetries {
+		t.Fatal("commit did not end storm mode")
+	}
+}
+
+func TestAdaptiveLockShedsRetriesUnderSpuriousStorm(t *testing.T) {
+	run := func(policy Policy) (machine.GroundTruth, Stats) {
+		m := machine.New(machine.Config{
+			Threads: 2,
+			Seed:    11,
+			Faults:  faults.Plan{SpuriousAbortRate: 0.25},
+		})
+		l := NewLock(m)
+		l.Policy = policy
+		ctr := m.Mem.AllocLines(1)
+		if err := m.RunAll(func(th *machine.Thread) {
+			for i := 0; i < 250; i++ {
+				l.Run(th, func() {
+					th.Add(ctr, 1)
+					th.Compute(30)
+				})
+			}
+		}); err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return m.GroundTruth(), l.Stats
+	}
+
+	_, adaptive := run(AdaptivePolicy())
+	if adaptive.StormsDetected == 0 {
+		t.Fatalf("no storms detected under 25%% spurious abort rate: %+v", adaptive)
+	}
+	if adaptive.StormFallbacks == 0 {
+		t.Fatalf("storms detected but no retries shed into fallback: %+v", adaptive)
+	}
+	gDefault, stDefault := run(DefaultPolicy())
+	if stDefault.StormsDetected != 0 || stDefault.StormFallbacks != 0 {
+		t.Fatalf("non-adaptive policy recorded storm stats: %+v", stDefault)
+	}
+	// Shedding must trade retries for fallbacks, not lose work: both
+	// policies complete all 500 critical sections.
+	if adaptive.Commits+adaptive.Fallbacks != 500 || stDefault.Commits+stDefault.Fallbacks != 500 {
+		t.Fatalf("critical sections lost: adaptive=%+v default=%+v", adaptive, stDefault)
+	}
+	// The default policy burns its full retry budget on ambient aborts;
+	// the adaptive one gives up sooner, so it retries spurious aborts
+	// fewer times in total.
+	if adaptive.Aborts[htm.Spurious] >= stDefault.Aborts[htm.Spurious] {
+		t.Fatalf("adaptive policy did not shed spurious retries: adaptive=%d default=%d",
+			adaptive.Aborts[htm.Spurious], stDefault.Aborts[htm.Spurious])
+	}
+	_ = gDefault
+}

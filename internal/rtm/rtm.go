@@ -74,11 +74,50 @@ type Policy struct {
 	// colliding transactions retry in lockstep and cascade into the
 	// fallback path (the "lemming effect"). Zero disables backoff.
 	BackoffBase int
+
+	// Adaptive enables storm shedding: when consecutive ambient aborts
+	// (interrupt or spurious — aborts the application did not cause
+	// and retrying cannot fix) reach StormThreshold without an
+	// intervening commit, the lock concludes the machine is in a
+	// transient-abort storm, sheds retries down to StormRetries, and
+	// widens backoff, so threads stop burning cycles re-executing
+	// doomed speculation and serialize through the fallback lock until
+	// the storm passes. A commit ends storm mode.
+	Adaptive bool
+	// StormThreshold is the consecutive-ambient-abort count that
+	// triggers storm mode. Zero means 16.
+	StormThreshold int
+	// StormRetries replaces MaxRetries while a storm is active. Zero
+	// means 1.
+	StormRetries int
 }
 
 // DefaultPolicy matches the paper's evaluation setup.
 func DefaultPolicy() Policy {
 	return Policy{MaxRetries: 5, RetryOnCapacity: true, MaxLockBusy: 50, BackoffBase: 30}
+}
+
+// AdaptivePolicy is DefaultPolicy plus storm shedding.
+func AdaptivePolicy() Policy {
+	p := DefaultPolicy()
+	p.Adaptive = true
+	p.StormThreshold = 16
+	p.StormRetries = 1
+	return p
+}
+
+func (p Policy) stormThreshold() int {
+	if p.StormThreshold <= 0 {
+		return 16
+	}
+	return p.StormThreshold
+}
+
+func (p Policy) stormRetries() int {
+	if p.StormRetries <= 0 {
+		return 1
+	}
+	return p.StormRetries
 }
 
 // Stats counts critical-section outcomes for one lock; exact ground
@@ -88,6 +127,10 @@ type Stats struct {
 	Fallbacks uint64
 	Aborts    map[htm.Cause]uint64
 	LockBusy  uint64 // explicit aborts because the lock was held
+
+	// Adaptive-policy accounting (zero unless Policy.Adaptive).
+	StormsDetected uint64 // transitions into storm mode
+	StormFallbacks uint64 // fallbacks taken while a storm was active
 }
 
 // EventKind enumerates the critical-section events an instrumenting
@@ -127,6 +170,46 @@ type Lock struct {
 	Sink EventSink
 
 	overheadCycles int // software bookkeeping burned per attempt
+
+	// Adaptive-policy state, mutated only by the simulated threads,
+	// which the lockstep scheduler serializes.
+	ambientStreak int  // consecutive ambient aborts since last commit
+	storming      bool // storm mode active
+}
+
+// Storming reports whether the adaptive policy currently has retries
+// shed (useful for tests and diagnostics).
+func (l *Lock) Storming() bool { return l.storming }
+
+// noteOutcome updates the adaptive storm detector after one attempt.
+func (l *Lock) noteOutcome(committed bool, cause htm.Cause) {
+	if !l.Policy.Adaptive {
+		return
+	}
+	switch {
+	case committed:
+		// Speculation works again; restore the full retry budget.
+		l.ambientStreak = 0
+		l.storming = false
+	case cause.Ambient():
+		l.ambientStreak++
+		if !l.storming && l.ambientStreak >= l.Policy.stormThreshold() {
+			l.storming = true
+			l.Stats.StormsDetected++
+		}
+	default:
+		// An application-caused abort breaks the streak: the aborts
+		// are explainable, not ambient noise.
+		l.ambientStreak = 0
+	}
+}
+
+// maxRetries returns the retry budget currently in force.
+func (l *Lock) maxRetries() int {
+	if l.storming {
+		return l.Policy.stormRetries()
+	}
+	return l.Policy.MaxRetries
 }
 
 // emit delivers an instrumentation event and charges its cost.
@@ -203,11 +286,13 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			l.emit(t, EventCommit)
 			t.State = 0
 			l.Stats.Commits++
+			l.noteOutcome(true, htm.None)
 			return
 		}
 
 		l.emit(t, EventAbort)
 		l.Stats.Aborts[abort.Cause]++
+		l.noteOutcome(false, abort.Cause)
 		switch {
 		case sawLockHeld && abort.Cause == htm.Explicit:
 			l.Stats.LockBusy++
@@ -215,14 +300,17 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			if lockBusy <= l.Policy.MaxLockBusy {
 				continue // wait for the lock and try again
 			}
-		case abort.Cause.Retryable() && retries < l.Policy.MaxRetries:
+		case abort.Cause.Retryable() && retries < l.maxRetries():
 			retries++
 			l.backoff(t, retries)
 			continue
-		case abort.Cause == htm.Capacity && l.Policy.RetryOnCapacity && retries < l.Policy.MaxRetries:
+		case abort.Cause == htm.Capacity && l.Policy.RetryOnCapacity && retries < l.maxRetries():
 			retries++
 			l.backoff(t, retries)
 			continue
+		}
+		if l.storming {
+			l.Stats.StormFallbacks++
 		}
 		break // persistent abort or retries exhausted: fall back
 	}
@@ -253,6 +341,9 @@ func (l *Lock) backoff(t *machine.Thread, retries int) {
 		return
 	}
 	window := l.Policy.BackoffBase << uint(retries-1)
+	if l.storming {
+		window <<= 2 // desynchronize harder while the storm lasts
+	}
 	t.State = InCS | InOverhead
 	t.Compute(1 + t.Rand().Intn(window))
 }

@@ -107,7 +107,7 @@ func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOpti
 	totalT := float64(r.Totals.T)
 	var totalAW float64
 	for c, v := range r.Totals.AbortWeight {
-		if htm.Cause(c) != htm.Interrupt {
+		if !htm.Cause(c).Ambient() {
 			totalAW += float64(v)
 		}
 	}
@@ -120,7 +120,7 @@ func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOpti
 		inc := subtreeMetrics(n)
 		var aw float64
 		for c, v := range inc.AbortWeight {
-			if htm.Cause(c) != htm.Interrupt {
+			if !htm.Cause(c).Ambient() {
 				aw += float64(v)
 			}
 		}

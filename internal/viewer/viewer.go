@@ -39,7 +39,7 @@ func Tree(w io.Writer, r *analyzer.Report, opt TreeOptions) {
 	totalT := float64(r.Totals.T)
 	var totalAW float64
 	for c, v := range r.Totals.AbortWeight {
-		if htm.Cause(c) != htm.Interrupt {
+		if !htm.Cause(c).Ambient() {
 			totalAW += float64(v)
 		}
 	}
@@ -57,7 +57,7 @@ func Tree(w io.Writer, r *analyzer.Report, opt TreeOptions) {
 		inc := subtreeMetrics(n)
 		var aw float64
 		for c, v := range inc.AbortWeight {
-			if htm.Cause(c) != htm.Interrupt {
+			if !htm.Cause(c).Ambient() {
 				aw += float64(v)
 			}
 		}
@@ -146,6 +146,40 @@ func ContextHistogram(w io.Writer, r *analyzer.Report, path []lbr.IP, metricName
 		n := int(v * width / maxV)
 		fmt.Fprintf(w, "  t%02d %-8d |%-*s|\n", i, v, width, strings.Repeat("#", n))
 	}
+}
+
+// DataQuality writes the degradation panel: whether the profile's
+// input data was corrupted or lost (fault injection, dropped PMU
+// samples, unresolvable LBRs) and by how much, so a reader knows how
+// far to trust the numbers above it.
+func DataQuality(w io.Writer, r *analyzer.Report) {
+	q := r.Quality
+	if q.Degraded() == 0 {
+		fmt.Fprintf(w, "data quality: clean")
+		if q.TruncatedPaths > 0 {
+			fmt.Fprintf(w, " (%d in-tx paths truncated by LBR capacity)", q.TruncatedPaths)
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "data quality: DEGRADED — %d events\n", q.Degraded())
+	row := func(label string, v uint64) {
+		if v > 0 {
+			fmt.Fprintf(w, "  %-28s %d\n", label, v)
+		}
+	}
+	row("spurious aborts injected", q.Injected.SpuriousAborts)
+	row("PMU samples dropped", q.Injected.DroppedSamples)
+	row("PMU samples coalesced", q.Injected.CoalescedSamples)
+	row("LBRs truncated", q.Injected.TruncatedLBRs)
+	row("LBRs with stale entries", q.Injected.StaleLBRs)
+	row("LBR abort bits cleared", q.Injected.ClearedAbortBits)
+	row("thread stalls", q.Injected.Stalls)
+	row("clock-skew spikes", q.Injected.ClockSkews)
+	row("malformed samples", q.MalformedSamples)
+	row("unresolved in-tx contexts", q.UnresolvedInTx)
+	row("inconsistent state words", q.InconsistentState)
+	row("truncated in-tx paths", q.TruncatedPaths)
 }
 
 // Histogram writes the per-thread commit/abort bar chart the paper's

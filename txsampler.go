@@ -27,6 +27,7 @@ import (
 	"txsampler/internal/cache"
 	"txsampler/internal/core"
 	"txsampler/internal/decision"
+	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
 	"txsampler/internal/machine"
 	"txsampler/internal/pmu"
@@ -72,6 +73,10 @@ type Options struct {
 	Policy *rtm.Policy
 	// Thresholds tune the decision tree.
 	Thresholds decision.Thresholds
+	// Faults enables deterministic fault injection (chaos profiling);
+	// the zero plan injects nothing. See the faults package and
+	// faults.ParsePlan for the -faults flag syntax.
+	Faults faults.Plan
 }
 
 // Result is the outcome of one run.
@@ -125,12 +130,16 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		Seed:        o.Seed,
 		HandlerCost: o.HandlerCost,
 		StartSkew:   1024,
+		Faults:      o.Faults,
 	}
 	if o.Profile {
 		cfg.Periods = o.Periods
 		if !cfg.Sampling() {
 			cfg.Periods = DefaultPeriods()
 		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	m := machine.New(cfg)
 	var col *core.Collector
@@ -155,6 +164,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 	}
 	if col != nil {
 		res.Report = analyzer.Analyze(w.Name, col)
+		res.Report.Quality.Injected = m.FaultStats()
 		res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 		res.CollectorBytes = col.MemoryFootprint()
 	}
@@ -185,10 +195,13 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 	cfg := machine.Config{
 		Threads: threads, Cache: cacheCfg, LBRDepth: o.LBRDepth,
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
-		Periods: o.Periods,
+		Periods: o.Periods, Faults: o.Faults,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, Accuracy{}, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	m := machine.New(cfg)
 	col := core.NewCollector(threads, cfg.Periods, 0)
@@ -204,6 +217,7 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 		GroundTruth: m.GroundTruth(),
 	}
 	res.Report = analyzer.Analyze(w.Name, col)
+	res.Report.Quality.Injected = m.FaultStats()
 	res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 	res.CollectorBytes = col.MemoryFootprint()
 	return res, probe.Accuracy, nil
