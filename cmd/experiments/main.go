@@ -11,14 +11,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"txsampler/internal/experiments"
 )
 
 func main() {
 	var (
-		threads = flag.Int("threads", 14, "thread count")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		threads  = flag.Int("threads", 14, "thread count")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent runs (1 = sequential); output is identical for any value")
 		all     = flag.Bool("all", false, "run everything")
 		fig5    = flag.Bool("fig5", false, "Figure 5: runtime overhead per benchmark")
 		fig6    = flag.Bool("fig6", false, "Figure 6: overhead vs thread count")
@@ -32,6 +34,10 @@ func main() {
 		caseN   = flag.String("case", "", "case study: dedup | leveldb | histo")
 	)
 	flag.Parse()
+	if *parallel < 1 {
+		log.Fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	experiments.Parallel = *parallel
 	w := os.Stdout
 
 	any := false

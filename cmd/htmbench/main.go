@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"txsampler"
 	"txsampler/internal/faults"
@@ -22,15 +25,20 @@ import (
 
 func main() {
 	var (
-		threads = flag.Int("threads", 0, "thread count (0 = workload default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		list    = flag.Bool("list", false, "list available workloads")
-		all     = flag.Bool("all", false, "run every workload")
-		suite   = flag.String("suite", "", "run every workload of one suite")
-		trace   = flag.String("trace", "", "record one workload and write a Chrome trace (chrome://tracing) to this path")
-		fplan   = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
+		threads  = flag.Int("threads", 0, "thread count (0 = workload default)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list available workloads")
+		all      = flag.Bool("all", false, "run every workload")
+		suite    = flag.String("suite", "", "run every workload of one suite")
+		trace    = flag.String("trace", "", "record one workload and write a Chrome trace (chrome://tracing) to this path")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent workloads (1 = sequential); output is identical for any value")
+		fplan    = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
 	)
 	flag.Parse()
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "htmbench: -parallel must be >= 1 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
 
 	plan, err := faults.ParsePlan(*fplan)
 	if err != nil {
@@ -86,20 +94,54 @@ func main() {
 		os.Exit(2)
 	}
 
-	for _, name := range names {
-		res, err := txsampler.Run(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan})
-		if err != nil {
-			log.Fatal(err)
-		}
-		g := res.GroundTruth
-		var aborts uint64
-		for _, n := range g.Aborts {
-			aborts += n
-		}
-		fmt.Printf("%-28s cycles=%-10d commits=%-7d aborts=%-7d causes:", name, res.ElapsedCycles, g.Commits, aborts)
-		for _, c := range g.AbortCauses() {
-			fmt.Printf(" %v=%d", c, g.Aborts[c])
-		}
-		fmt.Println()
+	// Each workload run is fully independent and deterministic, so
+	// they shard across workers; lines are gathered and printed in
+	// input order, keeping output identical for any worker count.
+	lines := make([]string, len(names))
+	errs := make([]error, len(names))
+	workers := *parallel
+	if workers > len(names) {
+		workers = len(names)
 	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(names) {
+					return
+				}
+				lines[i], errs[i] = runOne(names[i], *threads, *seed, plan)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, line := range lines {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		fmt.Print(line)
+	}
+}
+
+func runOne(name string, threads int, seed int64, plan faults.Plan) (string, error) {
+	res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Faults: plan})
+	if err != nil {
+		return "", err
+	}
+	g := res.GroundTruth
+	var aborts uint64
+	for _, n := range g.Aborts {
+		aborts += n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s cycles=%-10d commits=%-7d aborts=%-7d causes:", name, res.ElapsedCycles, g.Commits, aborts)
+	for _, c := range g.AbortCauses() {
+		fmt.Fprintf(&b, " %v=%d", c, g.Aborts[c])
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
 }

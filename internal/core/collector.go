@@ -172,7 +172,30 @@ type Profile struct {
 	Tree    *Tree
 	Totals  Metrics // aggregate over all contexts
 	Samples uint64  // samples of any event
+
+	// paths hash-conses derived calling contexts: repeated samples on
+	// the same (stack, LBR, IP) resolve to their CCT node without
+	// re-running the Figure 3 reconstruction or re-walking the tree.
+	// Keyed by FNV hash with full equality verification on hit.
+	paths     map[uint64][]cachedPath
+	pathCount int
 }
+
+// cachedPath memoizes one derived calling context. The stored slices
+// alias the sample's (the machine never mutates a sample after
+// delivery), so a cache entry costs two slice headers, not a copy.
+type cachedPath struct {
+	stack     []lbr.IP
+	lbr       []lbr.Entry // nil unless the sample carried abort evidence
+	ip        lbr.IP
+	inTx      bool
+	truncated bool
+	node      *Node
+}
+
+// pathCacheLimit bounds the per-thread path cache. The flush is
+// count-based, so it is deterministic for a given sample stream.
+const pathCacheLimit = 65536
 
 // Collector is the TxSampler online data collector. Install it as the
 // machine's sample handler before running. It is not safe for use by
@@ -246,6 +269,74 @@ func (c *Collector) context(s *machine.Sample) (frames []lbr.IP, inTx, truncated
 	return frames, true, trunc
 }
 
+// contextNode resolves the sample's CCT node, memoizing the
+// derivation: the node (and the inTx/truncated classification) is a
+// pure function of (stack, LBR, IP), and hot call paths repeat across
+// thousands of samples. Samples with an empty stack take the uncached
+// placeholder path.
+func (c *Collector) contextNode(p *Profile, s *machine.Sample) (node *Node, inTx, truncated bool) {
+	if len(s.Stack) == 0 {
+		frames, inTx, trunc := c.context(s)
+		return p.Tree.Path(frames), inTx, trunc
+	}
+	evidence := len(s.LBR) > 0 && s.LBR[0].Abort
+	h := lbr.HashIPs(lbr.HashSeed, s.Stack)
+	if evidence {
+		// Out-of-transaction contexts are the unwound stack alone; the
+		// LBR and precise IP only matter under the abort-evidence path.
+		h = lbr.HashIP(lbr.HashEntries(h, s.LBR), s.IP)
+	}
+	for i := range p.paths[h] {
+		e := &p.paths[h][i]
+		if e.inTx != evidence || !ipsEqual(e.stack, s.Stack) {
+			continue
+		}
+		if evidence && (e.ip != s.IP || !entriesEqual(e.lbr, s.LBR)) {
+			continue
+		}
+		return e.node, e.inTx, e.truncated
+	}
+	frames, inTx, truncated := c.context(s)
+	node = p.Tree.Path(frames)
+	if p.pathCount >= pathCacheLimit {
+		p.paths, p.pathCount = nil, 0
+	}
+	if p.paths == nil {
+		p.paths = make(map[uint64][]cachedPath)
+	}
+	entry := cachedPath{stack: s.Stack, ip: s.IP, inTx: inTx, truncated: truncated, node: node}
+	if evidence {
+		entry.lbr = s.LBR
+	}
+	p.paths[h] = append(p.paths[h], entry)
+	p.pathCount++
+	return node, inTx, truncated
+}
+
+func ipsEqual(a, b []lbr.IP) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func entriesEqual(a, b []lbr.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // HandleSample implements machine.SampleHandler with the paper's
 // Figure 4 algorithm plus the abort, commit, and contention analyses.
 func (c *Collector) HandleSample(s *machine.Sample) {
@@ -267,8 +358,7 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 		// durable and software clears it shortly after.)
 		c.quality.InconsistentState++
 	}
-	frames, inTx, truncated := c.context(s)
-	node := p.Tree.Path(frames)
+	node, inTx, truncated := c.contextNode(p, s)
 	m := &node.Data
 	if truncated {
 		m.Truncated++

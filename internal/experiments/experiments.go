@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"txsampler"
 	"txsampler/internal/analyzer"
@@ -21,6 +24,56 @@ import (
 	"txsampler/internal/htmbench"
 	"txsampler/internal/tsxprof"
 )
+
+// Parallel is the worker count for sharding independent machine runs
+// across CPUs. Every run is a fully deterministic function of its
+// options, runs share no state, and results are gathered and printed
+// in input order — so output is byte-identical for any worker count.
+// 1 restores fully sequential execution.
+var Parallel = runtime.GOMAXPROCS(0)
+
+// mapIndexed computes f(0..n-1) on min(Parallel, n) workers and
+// returns the results in input order. The first error by index wins.
+func mapIndexed[T any](n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	workers := Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
 // Row formats helpers.
 func pct(x float64) string { return fmt.Sprintf("%5.1f%%", 100*x) }
@@ -47,27 +100,29 @@ type Fig5Row struct {
 // (different seeds), excluding the smallest and largest. It returns
 // the rows and the geometric-mean overhead.
 func Fig5(w io.Writer, threads int, seed int64) ([]Fig5Row, float64, error) {
-	var rows []Fig5Row
 	fmt.Fprintf(w, "=== Figure 5: TxSampler runtime overhead (%d threads) ===\n", threads)
-	geo := 1.0
-	n := 0
+	var names []string
 	for _, wl := range htmbench.All() {
 		if wl.Suite == "opt" {
 			continue // Figure 5 covers the base programs
 		}
-		row, err := overheadRow(wl.Name, threads, seed)
-		if err != nil {
-			return nil, 0, err
-		}
-		rows = append(rows, row)
+		names = append(names, wl.Name)
+	}
+	rows, err := mapIndexed(len(names), func(i int) (Fig5Row, error) {
+		return overheadRow(names[i], threads, seed)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	geo := 1.0
+	for _, row := range rows {
 		fmt.Fprintf(w, "  %-26s native=%-10d profiled=%-10d overhead=%s\n",
 			row.Name, row.NativeCyc, row.ProfCyc, pct(row.Overhead))
 		geo *= 1 + row.Overhead
-		n++
 	}
 	mean := 0.0
-	if n > 0 {
-		mean = math.Pow(geo, 1/float64(n)) - 1
+	if len(rows) > 0 {
+		mean = math.Pow(geo, 1/float64(len(rows))) - 1
 	}
 	fmt.Fprintf(w, "  geometric-mean overhead: %s (paper: ~4%%, <10%% geo-mean)\n", pct(mean))
 	return rows, mean, nil
@@ -78,18 +133,28 @@ func Fig5(w io.Writer, threads int, seed int64) ([]Fig5Row, float64, error) {
 // exclude-extremes averaging as Fig5.
 func Fig6(w io.Writer, seed int64) (map[int]float64, error) {
 	fmt.Fprintln(w, "=== Figure 6: overhead vs thread count (STAMP suite) ===")
-	out := make(map[int]float64)
-	for _, threads := range []int{1, 2, 4, 8, 14} {
-		sum, n := 0.0, 0
-		for _, wl := range htmbench.BySuite("stamp") {
-			row, err := overheadRow(wl.Name, threads, seed)
-			if err != nil {
-				return nil, err
-			}
-			sum += row.Overhead
-			n++
+	counts := []int{1, 2, 4, 8, 14}
+	stamp := htmbench.BySuite("stamp")
+	type cell struct{ threads, wl int }
+	var cells []cell
+	for ti := range counts {
+		for wi := range stamp {
+			cells = append(cells, cell{ti, wi})
 		}
-		out[threads] = sum / float64(n)
+	}
+	rows, err := mapIndexed(len(cells), func(i int) (Fig5Row, error) {
+		return overheadRow(stamp[cells[i].wl].Name, counts[cells[i].threads], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64)
+	for ti, threads := range counts {
+		sum := 0.0
+		for wi := range stamp {
+			sum += rows[ti*len(stamp)+wi].Overhead
+		}
+		out[threads] = sum / float64(len(stamp))
 		fmt.Fprintf(w, "  %2d threads: mean overhead %s\n", threads, pct(out[threads]))
 	}
 	return out, nil
@@ -100,16 +165,26 @@ func Fig6(w io.Writer, seed int64) (map[int]float64, error) {
 // largest overhead, averaging the remaining five.
 func overheadRow(name string, threads int, seed int64) (Fig5Row, error) {
 	const runs = 7
-	overheads := make([]float64, 0, runs)
-	var nat, prof uint64
-	for i := 0; i < runs; i++ {
+	type run struct {
+		nat, prof uint64
+		ov        float64
+	}
+	results, err := mapIndexed(runs, func(i int) (run, error) {
 		native, profiled, ov, err := txsampler.Overhead(name, txsampler.Options{Threads: threads, Seed: seed + int64(i)})
 		if err != nil {
-			return Fig5Row{}, err
+			return run{}, err
 		}
-		overheads = append(overheads, ov)
-		nat += native.ElapsedCycles / runs
-		prof += profiled.ElapsedCycles / runs
+		return run{native.ElapsedCycles, profiled.ElapsedCycles, ov}, nil
+	})
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	overheads := make([]float64, 0, runs)
+	var nat, prof uint64
+	for _, r := range results {
+		overheads = append(overheads, r.ov)
+		nat += r.nat / runs
+		prof += r.prof / runs
 	}
 	sort.Float64s(overheads)
 	mean := 0.0
@@ -145,12 +220,12 @@ type ClompRow struct {
 // paper's three decompositions.
 func Fig7(w io.Writer, threads int, seed int64) ([]ClompRow, error) {
 	fmt.Fprintf(w, "=== Figure 7: CLOMP-TM decompositions (%d threads) ===\n", threads)
-	var rows []ClompRow
-	for _, cfg := range htmbench.ClompConfigs() {
-		name := htmbench.ClompName(cfg)
+	cfgs := htmbench.ClompConfigs()
+	rows, err := mapIndexed(len(cfgs), func(i int) (ClompRow, error) {
+		name := htmbench.ClompName(cfgs[i])
 		res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true})
 		if err != nil {
-			return nil, err
+			return ClompRow{}, err
 		}
 		r := res.Report
 		tot := r.Totals
@@ -176,7 +251,10 @@ func Fig7(w io.Writer, threads int, seed int64) ([]ClompRow, error) {
 			AbortCommitRatio: r.AbortCommitRatio(),
 			MeanWeight:       r.MeanAbortWeight(),
 		}
-		rows = append(rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprintln(w, "-- time decomposition (share of W) --")
 	for _, r := range rows {
@@ -209,17 +287,24 @@ type Fig8Row struct {
 // abort/commit ratio (the paper's Figure 8).
 func Fig8(w io.Writer, threads int, seed int64) ([]Fig8Row, error) {
 	fmt.Fprintf(w, "=== Figure 8: application categorization (%d threads) ===\n", threads)
-	var rows []Fig8Row
+	var wls []*htmbench.Workload
 	for _, wl := range htmbench.All() {
 		if wl.Suite == "opt" || wl.Suite == "clomp" || wl.Suite == "micro" {
 			continue
 		}
+		wls = append(wls, wl)
+	}
+	rows, err := mapIndexed(len(wls), func(i int) (Fig8Row, error) {
+		wl := wls[i]
 		res, err := txsampler.Run(wl.Name, txsampler.Options{Threads: threads, Seed: seed, Profile: true})
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
 		r := res.Report
-		rows = append(rows, Fig8Row{wl.Name, r.Rcs(), r.AbortCommitRatio(), r.Categorize(), wl.Expected})
+		return Fig8Row{wl.Name, r.Rcs(), r.AbortCommitRatio(), r.Categorize(), wl.Expected}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Category != rows[j].Category {
@@ -279,14 +364,16 @@ func Table2Pairs() []Table2Row {
 func Table2(w io.Writer, threads int, seed int64) ([]Table2Row, error) {
 	fmt.Fprintf(w, "=== Table 2: optimization overview (%d threads) ===\n", threads)
 	rows := Table2Pairs()
+	speedups, err := mapIndexed(len(rows), func(i int) (float64, error) {
+		return txsampler.Speedup(rows[i].Base, rows[i].Opt, txsampler.Options{Threads: threads, Seed: seed})
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i := range rows {
-		s, err := txsampler.Speedup(rows[i].Base, rows[i].Opt, txsampler.Options{Threads: threads, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		rows[i].Speedup = s
+		rows[i].Speedup = speedups[i]
 		fmt.Fprintf(w, "  %-10s %-34s %-38s measured=%.2fx paper=%.2fx\n",
-			rows[i].Code, rows[i].Symptom, rows[i].Solution, s, rows[i].Paper)
+			rows[i].Code, rows[i].Symptom, rows[i].Solution, rows[i].Speedup, rows[i].Paper)
 	}
 	return rows, nil
 }
@@ -296,11 +383,16 @@ func Table2(w io.Writer, threads int, seed int64) ([]Table2Row, error) {
 // recovers, judged against ground truth.
 func AccuracyComparison(w io.Writer, threads int, seed int64) error {
 	fmt.Fprintf(w, "=== Attribution accuracy: TxSampler vs conventional profiler (%d threads) ===\n", threads)
-	for _, name := range []string{"parsec/dedup", "micro/deep-calls", "synchro/linkedlist", "stamp/vacation"} {
-		_, acc, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: threads, Seed: seed})
-		if err != nil {
-			return err
-		}
+	names := []string{"parsec/dedup", "micro/deep-calls", "synchro/linkedlist", "stamp/vacation"}
+	accs, err := mapIndexed(len(names), func(i int) (txsampler.Accuracy, error) {
+		_, acc, err := txsampler.RunWithAccuracy(names[i], txsampler.Options{Threads: threads, Seed: seed})
+		return acc, err
+	})
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		acc := accs[i]
 		if acc.InTx == 0 {
 			fmt.Fprintf(w, "  %-26s no in-transaction samples\n", name)
 			continue
@@ -346,12 +438,19 @@ func CaseStudy(w io.Writer, name string, threads int, seed int64) (*analyzer.Rep
 // a few representative workloads (§7.1: <5MB per thread).
 func MemOverhead(w io.Writer, threads int, seed int64) (maxPerThread int, err error) {
 	fmt.Fprintf(w, "=== Collector memory overhead (%d threads) ===\n", threads)
-	for _, name := range []string{"parsec/dedup", "stamp/vacation", "synchro/linkedlist", "app/leveldb"} {
-		res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true})
+	names := []string{"parsec/dedup", "stamp/vacation", "synchro/linkedlist", "app/leveldb"}
+	pers, err := mapIndexed(len(names), func(i int) (int, error) {
+		res, err := txsampler.Run(names[i], txsampler.Options{Threads: threads, Seed: seed, Profile: true})
 		if err != nil {
 			return 0, err
 		}
-		per := res.CollectorBytes / threads
+		return res.CollectorBytes / threads, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, name := range names {
+		per := pers[i]
 		if per > maxPerThread {
 			maxPerThread = per
 		}

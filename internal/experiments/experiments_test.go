@@ -167,3 +167,28 @@ func TestTSXProfComparisonRendering(t *testing.T) {
 		t.Fatalf("missing columns:\n%s", out)
 	}
 }
+
+// TestParallelOutputIdentical shards the same experiment across 1 and
+// 8 workers and requires byte-identical output: every run is a pure
+// function of its options and results print in input order.
+func TestParallelOutputIdentical(t *testing.T) {
+	defer func(old int) { Parallel = old }(Parallel)
+
+	run := func(workers int) string {
+		Parallel = workers
+		var b strings.Builder
+		if _, err := MemOverhead(&b, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Fig7(&b, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	seq := run(1)
+	par := run(8)
+	if seq != par {
+		t.Fatalf("output differs between -parallel 1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

@@ -1,0 +1,53 @@
+package lbr
+
+// FNV-1a hashing over IPs and LBR entries. The collector hash-conses
+// reconstructed calling contexts keyed by (stack, LBR, IP), so the
+// hash must fold in every field that can change the derived context;
+// collisions are tolerated (callers verify with full equality) but
+// determinism is required, so no per-process seeding.
+
+// HashSeed is the FNV-1a offset basis; start every hash chain here.
+const HashSeed uint64 = 14695981039346656037
+
+const fnvPrime uint64 = 1099511628211
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	// Terminator so ("ab","c") and ("a","bc") hash differently.
+	return hashByte(h, 0xff)
+}
+
+// HashIP folds one IP into h.
+func HashIP(h uint64, ip IP) uint64 {
+	return hashString(hashString(h, ip.Fn), ip.Site)
+}
+
+// HashIPs folds a whole call stack into h.
+func HashIPs(h uint64, ips []IP) uint64 {
+	for _, ip := range ips {
+		h = HashIP(h, ip)
+	}
+	return h
+}
+
+// HashEntries folds an LBR snapshot into h, including the branch kind
+// and flag bits that steer in-transaction path reconstruction.
+func HashEntries(h uint64, es []Entry) uint64 {
+	for _, e := range es {
+		b := byte(e.Kind)
+		if e.Abort {
+			b |= 0x10
+		}
+		if e.InTSX {
+			b |= 0x20
+		}
+		h = hashByte(h, b)
+		h = HashIP(h, e.From)
+		h = HashIP(h, e.To)
+	}
+	return h
+}

@@ -38,6 +38,40 @@ func BenchmarkOpThroughput8Threads(b *testing.B) {
 	<-done
 }
 
+// BenchmarkSchedulerOpsPerSec is the headline scheduler-throughput
+// number: simulated operations per second in native mode (no PMU, no
+// handler), where the scheduler itself is the only cost.
+func BenchmarkSchedulerOpsPerSec(b *testing.B) {
+	b.Run("1thread-native", func(b *testing.B) {
+		b.ReportAllocs()
+		m := New(Config{Threads: 1})
+		done := make(chan struct{})
+		go func() {
+			_ = m.RunAll(func(t *Thread) {
+				for i := 0; i < b.N; i++ {
+					t.Compute(1)
+				}
+			})
+			close(done)
+		}()
+		<-done
+	})
+	b.Run("8threads-native", func(b *testing.B) {
+		b.ReportAllocs()
+		m := New(Config{Threads: 8})
+		done := make(chan struct{})
+		go func() {
+			_ = m.RunAll(func(t *Thread) {
+				for i := 0; i < b.N/8+1; i++ {
+					t.Compute(1)
+				}
+			})
+			close(done)
+		}()
+		<-done
+	})
+}
+
 func BenchmarkTransactionalIncrement(b *testing.B) {
 	m := New(Config{Threads: 1})
 	a := m.Mem.AllocWords(1)

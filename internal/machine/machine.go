@@ -4,11 +4,16 @@
 // interrupts (aborting in-flight transactions), per-core LBR buffers,
 // and architectural call stacks that roll back on abort.
 //
-// Simulated threads are real goroutines driven in lockstep by a
-// deterministic scheduler: every operation is a rendezvous, and the
-// scheduler always advances the runnable thread with the smallest
-// local cycle clock, so the global interleaving is a total order over
-// simulated time, reproducible for a given seed and workload.
+// Simulated threads are real goroutines driven one at a time by a
+// deterministic run-quantum scheduler: exactly one thread holds the
+// baton and executes operations inline while the per-op schedule
+// provably would keep selecting it (its clock stays below every other
+// live thread's clock, frozen at grant time), rendezvousing with the
+// scheduler only when it would lose that race or its quantum expires.
+// The resulting interleaving is the same total order over simulated
+// time the per-op scheduler (Quantum=1) produces — always advance the
+// runnable thread with the smallest local cycle clock — reproducible
+// for a given seed and workload, independent of the quantum.
 package machine
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +50,14 @@ type Costs struct {
 func DefaultCosts() Costs {
 	return Costs{Compute: 1, Call: 2, Return: 2, Syscall: 400, TxBegin: 45, TxEnd: 30, TxAbort: 150, Atomic: 20}
 }
+
+// DefaultQuantum is the run-quantum applied when Config.Quantum is
+// zero: the most operations one thread may execute between scheduler
+// rendezvous. The horizon rule already forces a rendezvous whenever
+// another thread could be due, so the quantum only bounds how long the
+// watchdog's progress counter and status snapshots can go stale; it
+// does not affect the schedule.
+const DefaultQuantum = 4096
 
 // Config describes a machine.
 type Config struct {
@@ -86,6 +100,12 @@ type Config struct {
 	// clock exceeds it, the scheduler declares livelock and fails
 	// with a diagnostic dump. Zero means unbounded.
 	MaxCycles uint64
+
+	// Quantum bounds the operations one thread executes between
+	// scheduler rendezvous. Zero selects DefaultQuantum; 1 forces a
+	// rendezvous after every operation (the per-op debug schedule).
+	// The schedule itself is quantum-invariant; see DESIGN.md.
+	Quantum int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HandlerCost == 0 {
 		c.HandlerCost = 200
+	}
+	if c.Quantum == 0 {
+		c.Quantum = DefaultQuantum
 	}
 	return c
 }
@@ -124,6 +147,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxReadLines < 0 {
 		return fmt.Errorf("machine: negative MaxReadLines %d", c.MaxReadLines)
+	}
+	if c.Quantum < 0 {
+		return fmt.Errorf("machine: negative scheduler quantum %d", c.Quantum)
 	}
 	if err := (htm.Config{Sets: d.Cache.Sets, Ways: d.Cache.Ways, MaxReadLines: d.MaxReadLines}).Validate(); err != nil {
 		return err
@@ -156,8 +182,36 @@ type Machine struct {
 	HTM     *htm.Engine
 	threads []*Thread
 	handler SampleHandler
+	sched   *scheduler
 
 	ran bool
+}
+
+// scheduler is the shared baton state. Exactly one thread goroutine
+// runs at a time; every handoff takes mu, so all simulated-machine and
+// workload state is ordered by the mutex (the race detector agrees).
+// The scheduling decision itself lives in the threads: a yielding
+// thread picks and grants its successor directly, with no round trip
+// through a central goroutine.
+type scheduler struct {
+	mu       sync.Mutex
+	live     []*Thread // threads not yet finished, thread-ID order
+	status   []threadStatus
+	running  int  // ID of the thread holding the baton
+	stopped  bool // terminal: threads park at their next rendezvous
+	reported bool // a terminal result was sent on done
+	done     chan error
+	progress atomic.Uint64 // rendezvous counter for the watchdog
+}
+
+// reportLocked delivers the terminal result (first one wins) and stops
+// the machine.
+func (s *scheduler) reportLocked(err error) {
+	if !s.reported {
+		s.reported = true
+		s.done <- err
+	}
+	s.stopped = true
 }
 
 // New constructs a machine. The configuration is validated and
@@ -176,6 +230,7 @@ func New(cfg Config) *Machine {
 		HTM: htm.NewEngine(htm.Config{
 			Sets: cfg.Cache.Sets, Ways: cfg.Cache.Ways, MaxReadLines: cfg.MaxReadLines,
 		}),
+		sched: &scheduler{done: make(chan error, 1)},
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		m.threads = append(m.threads, newThread(m, i))
@@ -204,6 +259,10 @@ func (m *Machine) Run(bodies ...func(*Thread)) error {
 	if len(bodies) != m.cfg.Threads {
 		panic(fmt.Sprintf("machine: %d bodies for %d threads", len(bodies), m.cfg.Threads))
 	}
+	s := m.sched
+	s.live = make([]*Thread, len(m.threads))
+	copy(s.live, m.threads)
+	s.status = make([]threadStatus, len(m.threads))
 	for i, t := range m.threads {
 		go t.main(bodies[i])
 	}
@@ -224,10 +283,10 @@ func (m *Machine) RunAll(body func(*Thread)) error {
 const DefaultWatchdog = 30 * time.Second
 
 // threadStatus is the scheduler's own record of a thread's state at
-// its most recent rendezvous. It is written only by the scheduler
-// goroutine (right after a yield, so the reads are synchronized by the
-// channel), which makes the watchdog's diagnostic dump race-free even
-// while a stuck thread goroutine is blocked in workload code.
+// its most recent rendezvous. It is written only under the scheduler
+// mutex (by the thread itself, right before it hands off the baton),
+// which makes the watchdog's diagnostic dump race-free even while a
+// stuck thread goroutine is blocked in workload code.
 type threadStatus struct {
 	ops     uint64 // operations completed
 	clock   uint64
@@ -246,83 +305,118 @@ func statusOf(t *Thread) threadStatus {
 		top += "@" + site
 	}
 	return threadStatus{
-		clock: t.clock, depth: len(t.stack), top: top,
+		clock: t.clock, depth: len(t.stack), top: top, ops: t.opCount,
 		inTx: t.tx != nil, txNest: t.txNest, state: t.State, yielded: true,
 	}
 }
 
-// schedule drives all threads: repeatedly grant one operation to the
-// live thread with the smallest clock (ties broken by thread ID). A
-// watchdog goroutine monitors rendezvous progress in real time; if a
-// thread is granted an operation and never yields (a deadlock in
-// workload or handler code), the scheduler fails with a per-thread
-// diagnostic dump instead of hanging forever. A cycle budget
-// (Config.MaxCycles) catches livelock the same way.
-func (m *Machine) schedule() error {
-	live := make([]*Thread, len(m.threads))
-	copy(live, m.threads)
+// pickNextLocked selects the live thread the canonical per-op schedule
+// runs next — smallest clock, ties broken by thread ID (live is kept
+// in ID order) — or the MaxCycles livelock error, or (nil, nil) when
+// every thread has finished.
+func (m *Machine) pickNextLocked() (*Thread, error) {
+	s := m.sched
+	if len(s.live) == 0 {
+		return nil, nil
+	}
+	t := s.live[0]
+	for _, c := range s.live[1:] {
+		if c.clock < t.clock {
+			t = c
+		}
+	}
+	if m.cfg.MaxCycles > 0 && t.clock > m.cfg.MaxCycles {
+		return nil, fmt.Errorf("machine: watchdog: slowest live thread passed MaxCycles=%d without completing (livelock?)\n%s",
+			m.cfg.MaxCycles, dumpStatus(s.status, -1))
+	}
+	return t, nil
+}
 
-	status := make([]threadStatus, len(m.threads))
+// grantLocked hands the baton to t: freeze t's horizon (the earliest
+// other live thread), reset its quantum, and wake it.
+func (m *Machine) grantLocked(t *Thread) {
+	m.setHorizonLocked(t)
+	t.sinceYield = 0
+	m.sched.running = t.ID
+	t.granted = true
+	t.cond.Signal()
+}
+
+// setHorizonLocked records the smallest (clock, ID) among the other
+// live threads. Those clocks cannot change while t holds the baton, so
+// t may run inline exactly while it stays ahead of this horizon.
+func (m *Machine) setHorizonLocked(t *Thread) {
+	t.hasHorizon = false
+	for _, c := range m.sched.live {
+		if c == t {
+			continue
+		}
+		if !t.hasHorizon || c.clock < t.hClock || (c.clock == t.hClock && c.ID < t.hID) {
+			t.hasHorizon, t.hClock, t.hID = true, c.clock, c.ID
+		}
+	}
+}
+
+func panicErr(id int, v any) error {
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("machine: thread %d panicked: %w", id, err)
+	}
+	return fmt.Errorf("machine: thread %d panicked: %v", id, v)
+}
+
+// schedule starts the machine: grant the first operation to the live
+// thread with the smallest clock, then wait for the threads — who pass
+// the baton among themselves — to report a terminal result. A watchdog
+// goroutine monitors rendezvous progress in real time; if a thread is
+// granted an operation and never yields (a deadlock in workload or
+// handler code), the scheduler fails with a per-thread diagnostic dump
+// instead of hanging forever. A cycle budget (Config.MaxCycles)
+// catches livelock the same way.
+func (m *Machine) schedule() error {
+	s := m.sched
 	timeout := m.cfg.Watchdog
 	if timeout == 0 {
 		timeout = DefaultWatchdog
 	}
-	var progress atomic.Uint64
 	fired := make(chan struct{})
 	stop := make(chan struct{})
 	defer close(stop)
 	if timeout > 0 {
-		go watchdogLoop(timeout, &progress, fired, stop)
+		go watchdogLoop(timeout, &s.progress, fired, stop)
 	}
 
-	for len(live) > 0 {
-		t := live[0]
-		for _, c := range live[1:] {
-			if c.clock < t.clock {
-				t = c
-			}
-		}
-		if m.cfg.MaxCycles > 0 && t.clock > m.cfg.MaxCycles {
-			return fmt.Errorf("machine: watchdog: slowest live thread passed MaxCycles=%d without completing (livelock?)\n%s",
-				m.cfg.MaxCycles, dumpStatus(status, -1))
-		}
-		var msg yieldMsg
-		select {
-		case t.resume <- struct{}{}:
-		case <-fired:
-			return watchdogError(timeout, status, t)
-		}
-		select {
-		case msg = <-t.yield:
-		case <-fired:
-			return watchdogError(timeout, status, t)
-		}
-		progress.Add(1)
-		ops := status[t.ID].ops + 1
-		status[t.ID] = statusOf(t)
-		status[t.ID].ops = ops
-		if msg.done {
-			status[t.ID].done = true
-			if msg.panicked != nil {
-				// Fail fast: the dead thread may hold a spin lock
-				// other threads wait on forever. Remaining thread
-				// goroutines stay parked and are collected with the
-				// machine. Wrap error panic values so callers can
-				// errors.Is/As typed workload failures.
-				if err, ok := msg.panicked.(error); ok {
-					return fmt.Errorf("machine: thread %d panicked: %w", t.ID, err)
-				}
-				return fmt.Errorf("machine: thread %d panicked: %v", t.ID, msg.panicked)
-			}
-			for i, c := range live {
-				if c == t {
-					live = append(live[:i], live[i+1:]...)
-					break
-				}
-			}
-		}
+	s.mu.Lock()
+	first, err := m.pickNextLocked()
+	if err != nil {
+		s.stopped = true
+		s.mu.Unlock()
+		return err
 	}
-	return nil
+	if first == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	m.grantLocked(first)
+	s.mu.Unlock()
+
+	select {
+	case err := <-s.done:
+		return err
+	case <-fired:
+		// A terminal report may have raced the watchdog; prefer it.
+		select {
+		case err := <-s.done:
+			return err
+		default:
+		}
+		s.mu.Lock()
+		s.stopped = true
+		granted := m.threads[s.running]
+		snap := make([]threadStatus, len(s.status))
+		copy(snap, s.status)
+		s.mu.Unlock()
+		return watchdogError(timeout, snap, granted)
+	}
 }
 
 // watchdogLoop fires when no rendezvous completes for a whole timeout

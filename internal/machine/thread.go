@@ -2,6 +2,7 @@ package machine
 
 import (
 	"math/rand"
+	"sync"
 
 	"txsampler/internal/faults"
 	"txsampler/internal/htm"
@@ -30,11 +31,6 @@ type AbortInfo struct {
 type frame struct {
 	fn   string
 	site string
-}
-
-type yieldMsg struct {
-	done     bool
-	panicked any
 }
 
 // Thread is one simulated hardware thread (pinned to its own core).
@@ -70,19 +66,33 @@ type Thread struct {
 	commits uint64
 	aborts  [8]uint64 // indexed by htm.Cause
 
-	resume chan struct{}
-	yield  chan yieldMsg
+	// Run-quantum scheduling state. cond waits on the machine
+	// scheduler's mutex; granted is the baton. The horizon is the
+	// smallest (clock, ID) among the other live threads, frozen at
+	// grant time: while this thread stays below it, the per-op
+	// scheduler would re-select this thread anyway, so operations run
+	// inline without a rendezvous.
+	cond       *sync.Cond
+	granted    bool
+	hasHorizon bool
+	hClock     uint64
+	hID        int
+	sinceYield uint64 // operations since the last rendezvous
+	opCount    uint64 // operations completed (diagnostics)
+	quantum    uint64 // rendezvous at least every quantum operations
+	maxCycles  uint64 // cached Config.MaxCycles
 }
 
 func newThread(m *Machine, id int) *Thread {
 	t := &Thread{
-		m:      m,
-		ID:     id,
-		lbrBuf: lbr.New(m.cfg.LBRDepth),
-		rng:    rand.New(rand.NewSource(m.cfg.Seed*1_000_003 + int64(id))),
-		stack:  []frame{{fn: "thread_root"}},
-		resume: make(chan struct{}),
-		yield:  make(chan yieldMsg),
+		m:         m,
+		ID:        id,
+		lbrBuf:    lbr.New(m.cfg.LBRDepth),
+		rng:       rand.New(rand.NewSource(m.cfg.Seed*1_000_003 + int64(id))),
+		stack:     append(make([]frame, 0, 64), frame{fn: "thread_root"}),
+		cond:      sync.NewCond(&m.sched.mu),
+		quantum:   uint64(m.cfg.Quantum),
+		maxCycles: m.cfg.MaxCycles,
 	}
 	t.counters.SetPeriods(m.cfg.Periods)
 	t.inj = faults.NewInjector(m.cfg.Faults, uint64(m.cfg.Seed)*64+uint64(id)+1)
@@ -104,19 +114,108 @@ func newThread(m *Machine, id int) *Thread {
 
 // main is the goroutine body driving the workload under the scheduler.
 func (t *Thread) main(body func(*Thread)) {
-	var msg yieldMsg
-	msg.done = true
-	defer func() {
-		msg.panicked = recover()
-		t.yield <- msg
-	}()
-	<-t.resume
+	defer func() { t.finish(recover()) }()
+	s := t.m.sched
+	s.mu.Lock()
+	for !t.granted {
+		t.cond.Wait()
+	}
+	t.granted = false
+	s.mu.Unlock()
 	body(t)
 }
 
-func (t *Thread) yieldAndWait() {
-	t.yield <- yieldMsg{}
-	<-t.resume
+// finish runs when the workload body returns or panics: it records the
+// final status, removes the thread from the live set, and either
+// reports the terminal result (panic, or all threads done) or hands
+// the baton to the next runnable thread.
+func (t *Thread) finish(panicked any) {
+	s := t.m.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := statusOf(t)
+	st.ops = t.opCount
+	st.done = true
+	s.status[t.ID] = st
+	s.progress.Add(1)
+	for i, c := range s.live {
+		if c == t {
+			s.live = append(s.live[:i], s.live[i+1:]...)
+			break
+		}
+	}
+	if s.stopped {
+		return
+	}
+	if panicked != nil {
+		// Fail fast: the dead thread may hold a spin lock other
+		// threads wait on forever. Remaining thread goroutines stay
+		// parked and are collected with the machine. Wrap error panic
+		// values so callers can errors.Is/As typed workload failures.
+		s.reportLocked(panicErr(t.ID, panicked))
+		return
+	}
+	next, err := t.m.pickNextLocked()
+	if err != nil {
+		s.reportLocked(err)
+		return
+	}
+	if next == nil {
+		s.reportLocked(nil) // all threads completed
+		return
+	}
+	t.m.grantLocked(next)
+}
+
+// rendezvous is the scheduling point: record status, pick the next
+// runnable thread by (clock, ID), and either continue (this thread is
+// still the minimum) or hand the baton over and wait to be granted.
+func (t *Thread) rendezvous() {
+	s := t.m.sched
+	s.mu.Lock()
+	st := statusOf(t)
+	st.ops = t.opCount
+	s.status[t.ID] = st
+	s.progress.Add(1)
+	if s.stopped {
+		t.parkLocked()
+	}
+	next, err := t.m.pickNextLocked()
+	if err != nil {
+		s.reportLocked(err)
+		t.parkLocked()
+	}
+	if next == t {
+		t.m.setHorizonLocked(t)
+		t.sinceYield = 0
+		s.running = t.ID
+		s.mu.Unlock()
+		return
+	}
+	t.m.grantLocked(next)
+	for !t.granted {
+		t.cond.Wait()
+	}
+	t.granted = false
+	s.mu.Unlock()
+}
+
+// parkLocked blocks the calling thread goroutine forever (the machine
+// has failed; the goroutine is abandoned exactly as the channel-based
+// scheduler abandoned threads parked at a rendezvous). Never returns.
+func (t *Thread) parkLocked() {
+	for {
+		t.cond.Wait()
+	}
+}
+
+// mayContinue reports whether the per-op scheduler would re-select
+// this thread for its next operation: its clock is still below the
+// horizon (the smallest other live thread's clock at grant time,
+// which cannot change while this thread runs), or ties it with a
+// smaller ID.
+func (t *Thread) mayContinue() bool {
+	return !t.hasHorizon || t.clock < t.hClock || (t.clock == t.hClock && t.ID < t.hID)
 }
 
 // Clock returns the thread's cycle clock.
@@ -171,11 +270,10 @@ type opMeta struct {
 	hasAddr bool
 }
 
-// op is the rendezvous at the heart of the simulation: it delivers any
-// pending asynchronous abort, runs the effect (which returns its cycle
-// cost), advances the clock and PMU counters, delivers counter
-// overflow interrupts, and yields to the scheduler.
-func (t *Thread) op(meta opMeta, effect func() uint64) {
+// startOp begins one operation: deliver any pending asynchronous abort
+// and run the fault injector's per-operation hooks. The operation's
+// effect then executes inline in the caller, followed by endOp.
+func (t *Thread) startOp() {
 	if t.tx != nil && t.tx.Doomed {
 		t.abortNow() // asynchronous abort arrived between operations
 	}
@@ -194,7 +292,14 @@ func (t *Thread) op(meta opMeta, effect func() uint64) {
 			t.abortNow()
 		}
 	}
-	cost := effect()
+}
+
+// endOp completes one operation: unwind if the effect doomed the
+// transaction, advance the clock and PMU counters, deliver counter
+// overflow interrupts, and — only when the per-op scheduler would now
+// select a different thread, or the run quantum is exhausted —
+// rendezvous with the scheduler.
+func (t *Thread) endOp(meta opMeta, cost uint64) {
 	if t.tx != nil && t.tx.Doomed {
 		t.abortNow() // the effect doomed us (capacity, sync, explicit)
 	}
@@ -212,7 +317,12 @@ func (t *Thread) op(meta opMeta, effect func() uint64) {
 	if n > 0 && t.m.handler != nil {
 		t.deliverInterrupt(over[:n], meta)
 	}
-	t.yieldAndWait()
+	t.opCount++
+	t.sinceYield++
+	if t.sinceYield >= t.quantum || !t.mayContinue() ||
+		(t.maxCycles > 0 && t.clock > t.maxCycles) {
+		t.rendezvous()
+	}
 }
 
 // rollback restores the architectural state to the XBEGIN point after
@@ -254,7 +364,8 @@ func (t *Thread) abortNow() {
 	from := t.curIP()
 	overflow := t.rollback()
 	if overflow && t.m.handler != nil {
-		t.deliverSamples([]pmu.Event{pmu.TxAbort}, from, truth, true, opMeta{})
+		events := [1]pmu.Event{pmu.TxAbort}
+		t.deliverSamples(events[:], from, truth, true, opMeta{})
 	}
 	panic(txAbortSentinel{})
 }
@@ -268,13 +379,16 @@ func (t *Thread) deliverInterrupt(events []pmu.Event, meta opMeta) {
 	truth := t.stackIPs()
 	ip := t.curIP()
 	wasInTx := t.tx != nil
+	var evBuf [3]pmu.Event // at most two overflow events plus TxAbort
 	if wasInTx {
 		t.m.HTM.Doom(t.tx, htm.Interrupt, -1, 0)
 		// The abort retires before the PMI handler freezes the
 		// counters; if it overflows the TxAbort counter, a second
 		// interrupt is pending and delivers right after this one.
 		if t.rollback() {
-			events = append(append([]pmu.Event{}, events...), pmu.TxAbort)
+			n := copy(evBuf[:], events)
+			evBuf[n] = pmu.TxAbort
+			events = evBuf[:n+1]
 		}
 	} else {
 		t.lbrBuf.Record(lbr.Entry{Kind: lbr.KindInterrupt, From: ip, To: ip})
@@ -295,6 +409,13 @@ func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, w
 	if t.inj != nil {
 		snapshot = t.inj.CorruptLBR(snapshot)
 	}
+	// The unwound stack is identical for every sample of one delivery;
+	// outside a transaction it is also identical to the ground-truth
+	// stack captured before delivery, so the copy is shared.
+	stack := truth
+	if wasInTx {
+		stack = t.stackIPs() // rolled back: differs from truth
+	}
 	for _, ev := range events {
 		if t.inj != nil && t.inj.DropSample(t.clock) {
 			// The PMI was lost or coalesced away: the machine-level
@@ -314,7 +435,7 @@ func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, w
 			IP:         ip,
 			LBR:        snapshot,
 			State:      t.State,
-			Stack:      t.stackIPs(),
+			Stack:      stack,
 			TruthStack: truth,
 			TruthInTx:  wasInTx,
 		}
@@ -338,54 +459,55 @@ func (t *Thread) Compute(n int) {
 	if n <= 0 {
 		return
 	}
-	t.op(opMeta{}, func() uint64 { return uint64(n) * t.m.cfg.Costs.Compute })
+	t.startOp()
+	t.endOp(opMeta{}, uint64(n)*t.m.cfg.Costs.Compute)
 }
 
 // Load reads the word at a, transactionally when a transaction is
 // active.
 func (t *Thread) Load(a mem.Addr) mem.Word {
+	t.startOp()
 	var v mem.Word
-	pen := t.m.cfg.MemPenalty
-	t.op(opMeta{ev: pmu.Loads, n: 1, hasEv: true, addr: a, hasAddr: true}, func() uint64 {
-		if t.tx != nil {
-			buf, fromBuf := t.m.HTM.Read(t.tx, a)
-			if t.tx.Doomed {
-				return 0
-			}
+	var cost uint64
+	if t.tx != nil {
+		buf, fromBuf := t.m.HTM.Read(t.tx, a)
+		if !t.tx.Doomed {
 			r := t.m.Caches.Access(t.ID, a, false)
 			if fromBuf {
 				v = buf
 			} else {
 				v = t.m.Mem.Load(a)
 			}
-			return uint64(r.Latency) + pen
+			cost = uint64(r.Latency) + t.m.cfg.MemPenalty
 		}
+	} else {
 		t.m.HTM.NonTxAccess(t.ID, a, false)
 		r := t.m.Caches.Access(t.ID, a, false)
 		v = t.m.Mem.Load(a)
-		return uint64(r.Latency) + pen
-	})
+		cost = uint64(r.Latency) + t.m.cfg.MemPenalty
+	}
+	t.endOp(opMeta{ev: pmu.Loads, n: 1, hasEv: true, addr: a, hasAddr: true}, cost)
 	return v
 }
 
 // Store writes v to the word at a, transactionally when a transaction
 // is active (the store is buffered until commit).
 func (t *Thread) Store(a mem.Addr, v mem.Word) {
-	pen := t.m.cfg.MemPenalty
-	t.op(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, func() uint64 {
-		if t.tx != nil {
-			t.m.HTM.Write(t.tx, a, v)
-			if t.tx.Doomed {
-				return 0
-			}
+	t.startOp()
+	var cost uint64
+	if t.tx != nil {
+		t.m.HTM.Write(t.tx, a, v)
+		if !t.tx.Doomed {
 			r := t.m.Caches.Access(t.ID, a, true)
-			return uint64(r.Latency) + pen
+			cost = uint64(r.Latency) + t.m.cfg.MemPenalty
 		}
+	} else {
 		t.m.HTM.NonTxAccess(t.ID, a, true)
 		r := t.m.Caches.Access(t.ID, a, true)
 		t.m.Mem.Store(a, v)
-		return uint64(r.Latency) + pen
-	})
+		cost = uint64(r.Latency) + t.m.cfg.MemPenalty
+	}
+	t.endOp(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, cost)
 }
 
 // Add loads, adds d, and stores the word at a (two operations, as the
@@ -400,13 +522,12 @@ func (t *Thread) Add(a mem.Addr, d int64) mem.Word {
 // locked operation. Inside a transaction it behaves like a normal
 // read-modify-write on the write set.
 func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
+	t.startOp()
 	var ok bool
-	t.op(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, func() uint64 {
-		if t.tx != nil {
-			cur, fromBuf := t.m.HTM.Read(t.tx, a)
-			if t.tx.Doomed {
-				return 0
-			}
+	var cost uint64
+	if t.tx != nil {
+		cur, fromBuf := t.m.HTM.Read(t.tx, a)
+		if !t.tx.Doomed {
 			if !fromBuf {
 				cur = t.m.Mem.Load(a)
 			}
@@ -415,56 +536,60 @@ func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
 				ok = !t.tx.Doomed
 			}
 			r := t.m.Caches.Access(t.ID, a, true)
-			return uint64(r.Latency) + t.m.cfg.Costs.Atomic
+			cost = uint64(r.Latency) + t.m.cfg.Costs.Atomic
 		}
+	} else {
 		t.m.HTM.NonTxAccess(t.ID, a, true)
 		r := t.m.Caches.Access(t.ID, a, true)
 		if t.m.Mem.Load(a) == old {
 			t.m.Mem.Store(a, new)
 			ok = true
 		}
-		return uint64(r.Latency) + t.m.cfg.Costs.Atomic
-	})
+		cost = uint64(r.Latency) + t.m.cfg.Costs.Atomic
+	}
+	t.endOp(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, cost)
 	return ok
 }
 
 // AtomicAdd atomically adds d to the word at a and returns the new
 // value.
 func (t *Thread) AtomicAdd(a mem.Addr, d int64) mem.Word {
+	t.startOp()
 	var v mem.Word
-	t.op(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, func() uint64 {
-		if t.tx != nil {
-			cur, fromBuf := t.m.HTM.Read(t.tx, a)
-			if t.tx.Doomed {
-				return 0
-			}
+	var cost uint64
+	if t.tx != nil {
+		cur, fromBuf := t.m.HTM.Read(t.tx, a)
+		if !t.tx.Doomed {
 			if !fromBuf {
 				cur = t.m.Mem.Load(a)
 			}
 			v = cur + mem.Word(d)
 			t.m.HTM.Write(t.tx, a, v)
 			r := t.m.Caches.Access(t.ID, a, true)
-			return uint64(r.Latency) + t.m.cfg.Costs.Atomic
+			cost = uint64(r.Latency) + t.m.cfg.Costs.Atomic
 		}
+	} else {
 		t.m.HTM.NonTxAccess(t.ID, a, true)
 		r := t.m.Caches.Access(t.ID, a, true)
 		v = t.m.Mem.Load(a) + mem.Word(d)
 		t.m.Mem.Store(a, v)
-		return uint64(r.Latency) + t.m.cfg.Costs.Atomic
-	})
+		cost = uint64(r.Latency) + t.m.cfg.Costs.Atomic
+	}
+	t.endOp(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, cost)
 	return v
 }
 
 // Syscall executes a system call — an HTM-unfriendly instruction that
 // synchronously aborts a running transaction (paper §1).
 func (t *Thread) Syscall(kind string) {
-	t.op(opMeta{}, func() uint64 {
-		if t.tx != nil {
-			t.m.HTM.Doom(t.tx, htm.Sync, -1, 0)
-			return 0
-		}
-		return t.m.cfg.Costs.Syscall
-	})
+	t.startOp()
+	var cost uint64
+	if t.tx != nil {
+		t.m.HTM.Doom(t.tx, htm.Sync, -1, 0)
+	} else {
+		cost = t.m.cfg.Costs.Syscall
+	}
+	t.endOp(opMeta{}, cost)
 }
 
 // PageFault touches a cold page: an HTM-unfriendly event that
@@ -473,39 +598,38 @@ func (t *Thread) Syscall(kind string) {
 // faults among the synchronous abort causes; §5 suggests prefetching
 // as the fix).
 func (t *Thread) PageFault() {
-	t.op(opMeta{}, func() uint64 {
-		if t.tx != nil {
-			t.m.HTM.Doom(t.tx, htm.Sync, -1, 0)
-			return 0
-		}
-		return t.m.cfg.Costs.Syscall * 3 // fault handling round trip
-	})
+	t.startOp()
+	var cost uint64
+	if t.tx != nil {
+		t.m.HTM.Doom(t.tx, htm.Sync, -1, 0)
+	} else {
+		cost = t.m.cfg.Costs.Syscall * 3 // fault handling round trip
+	}
+	t.endOp(opMeta{}, cost)
 }
 
 // Call pushes a stack frame for fn and records the branch in the LBR.
 func (t *Thread) Call(fn string) {
-	t.op(opMeta{}, func() uint64 {
-		t.lbrBuf.Record(lbr.Entry{
-			Kind: lbr.KindCall, From: t.curIP(), To: lbr.IP{Fn: fn}, InTSX: t.tx != nil,
-		})
-		t.stack = append(t.stack, frame{fn: fn})
-		return t.m.cfg.Costs.Call
+	t.startOp()
+	t.lbrBuf.Record(lbr.Entry{
+		Kind: lbr.KindCall, From: t.curIP(), To: lbr.IP{Fn: fn}, InTSX: t.tx != nil,
 	})
+	t.stack = append(t.stack, frame{fn: fn})
+	t.endOp(opMeta{}, t.m.cfg.Costs.Call)
 }
 
 // Return pops the current frame and records the branch in the LBR.
 func (t *Thread) Return() {
-	t.op(opMeta{}, func() uint64 {
-		if len(t.stack) <= 1 {
-			panic("machine: Return with empty call stack")
-		}
-		from := t.curIP()
-		t.stack = t.stack[:len(t.stack)-1]
-		t.lbrBuf.Record(lbr.Entry{
-			Kind: lbr.KindReturn, From: from, To: t.curIP(), InTSX: t.tx != nil,
-		})
-		return t.m.cfg.Costs.Return
+	t.startOp()
+	if len(t.stack) <= 1 {
+		panic("machine: Return with empty call stack")
+	}
+	from := t.curIP()
+	t.stack = t.stack[:len(t.stack)-1]
+	t.lbrBuf.Record(lbr.Entry{
+		Kind: lbr.KindReturn, From: from, To: t.curIP(), InTSX: t.tx != nil,
 	})
+	t.endOp(opMeta{}, t.m.cfg.Costs.Return)
 }
 
 // Func runs f within a stack frame named fn. The matching Return is
@@ -532,22 +656,24 @@ const MaxTxNest = 7
 // MaxTxNest aborts. Most callers want Attempt or the rtm package
 // instead.
 func (t *Thread) TxBegin() {
-	t.op(opMeta{}, func() uint64 {
-		if t.tx != nil {
-			t.txNest++
-			if t.txNest >= MaxTxNest {
-				t.m.HTM.Doom(t.tx, htm.Explicit, -1, 0)
-			}
-			return t.m.cfg.Costs.TxBegin / 4 // nested XBEGIN is cheap
+	t.startOp()
+	var cost uint64
+	if t.tx != nil {
+		t.txNest++
+		if t.txNest >= MaxTxNest {
+			t.m.HTM.Doom(t.tx, htm.Explicit, -1, 0)
 		}
+		cost = t.m.cfg.Costs.TxBegin / 4 // nested XBEGIN is cheap
+	} else {
 		t.txNest = 0
 		t.tx = t.m.HTM.Begin(t.ID, t.clock)
 		t.txStack = len(t.stack)
 		t.txSite = t.stack[len(t.stack)-1].site
 		t.txState = t.State
 		t.txBeginIP = t.curIP()
-		return t.m.cfg.Costs.TxBegin
-	})
+		cost = t.m.cfg.Costs.TxBegin
+	}
+	t.endOp(opMeta{}, cost)
 }
 
 // TxCommit commits the running transaction (XEND), applying its
@@ -555,38 +681,36 @@ func (t *Thread) TxBegin() {
 // point. A nested commit only decrements the flattened nesting depth.
 func (t *Thread) TxCommit() {
 	if t.tx != nil && !t.tx.Doomed && t.txNest > 0 {
-		t.op(opMeta{}, func() uint64 {
-			t.txNest--
-			return t.m.cfg.Costs.TxEnd / 4
-		})
+		t.startOp()
+		t.txNest--
+		t.endOp(opMeta{}, t.m.cfg.Costs.TxEnd/4)
 		return
 	}
-	t.op(opMeta{ev: pmu.TxCommit, n: 1, hasEv: true}, func() uint64 {
-		if t.tx == nil {
-			panic("machine: TxCommit outside a transaction")
-		}
-		stores, ok := t.m.HTM.Commit(t.tx)
-		if !ok {
-			return 0 // doomed: the post-effect check unwinds
-		}
+	t.startOp()
+	if t.tx == nil {
+		panic("machine: TxCommit outside a transaction")
+	}
+	var cost uint64
+	if stores, ok := t.m.HTM.Commit(t.tx); ok {
 		for a, v := range stores {
 			t.m.Mem.Store(a, v)
 		}
 		t.commits++
 		t.tx = nil
-		return t.m.cfg.Costs.TxEnd
-	})
+		cost = t.m.cfg.Costs.TxEnd
+	}
+	// Doomed: cost stays 0 and the endOp doom check unwinds.
+	t.endOp(opMeta{ev: pmu.TxCommit, n: 1, hasEv: true}, cost)
 }
 
 // TxAbort explicitly aborts the running transaction (XABORT).
 func (t *Thread) TxAbort() {
-	t.op(opMeta{}, func() uint64 {
-		if t.tx == nil {
-			panic("machine: TxAbort outside a transaction")
-		}
-		t.m.HTM.Doom(t.tx, htm.Explicit, -1, 0)
-		return 0
-	})
+	t.startOp()
+	if t.tx == nil {
+		panic("machine: TxAbort outside a transaction")
+	}
+	t.m.HTM.Doom(t.tx, htm.Explicit, -1, 0)
+	t.endOp(opMeta{}, 0)
 }
 
 // Attempt executes body as one hardware transaction attempt. It

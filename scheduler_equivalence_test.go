@@ -1,0 +1,52 @@
+package txsampler_test
+
+// The run-quantum scheduler's hard constraint: for a fixed seed, the
+// batched schedule must be indistinguishable from the per-op schedule
+// (Quantum=1, the debug knob). Every registered HTMBench workload is
+// run both ways and must produce identical ground truth, identical
+// clocks, and a byte-identical serialized profile database.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/htmbench"
+)
+
+func TestSchedulerQuantumEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload twice")
+	}
+	for _, wl := range htmbench.All() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			opts := txsampler.Options{Threads: 4, Seed: 5, Profile: true}
+
+			opts.Quantum = 1
+			perOp, err := txsampler.Run(wl.Name, opts)
+			if err != nil {
+				t.Fatalf("per-op: %v", err)
+			}
+			opts.Quantum = 0 // machine default (batched)
+			batched, err := txsampler.Run(wl.Name, opts)
+			if err != nil {
+				t.Fatalf("batched: %v", err)
+			}
+
+			if perOp.ElapsedCycles != batched.ElapsedCycles || perOp.TotalCycles != batched.TotalCycles {
+				t.Errorf("clocks diverge: elapsed %d vs %d, total %d vs %d",
+					perOp.ElapsedCycles, batched.ElapsedCycles, perOp.TotalCycles, batched.TotalCycles)
+			}
+			if !reflect.DeepEqual(perOp.GroundTruth, batched.GroundTruth) {
+				t.Errorf("ground truth diverges:\nper-op:  %+v\nbatched: %+v",
+					perOp.GroundTruth, batched.GroundTruth)
+			}
+			if !bytes.Equal(serialize(t, perOp.Report), serialize(t, batched.Report)) {
+				t.Error("serialized profile databases differ between quantum 1 and batched")
+			}
+		})
+	}
+}

@@ -77,6 +77,10 @@ type Options struct {
 	// the zero plan injects nothing. See the faults package and
 	// faults.ParsePlan for the -faults flag syntax.
 	Faults faults.Plan
+	// Quantum overrides the scheduler run quantum (0 = the machine
+	// default; 1 = per-op scheduling, a debug knob). The schedule is
+	// quantum-invariant — results are bit-identical for any value.
+	Quantum int
 }
 
 // Result is the outcome of one run.
@@ -131,6 +135,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		HandlerCost: o.HandlerCost,
 		StartSkew:   1024,
 		Faults:      o.Faults,
+		Quantum:     o.Quantum,
 	}
 	if o.Profile {
 		cfg.Periods = o.Periods
@@ -195,7 +200,7 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 	cfg := machine.Config{
 		Threads: threads, Cache: cacheCfg, LBRDepth: o.LBRDepth,
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
-		Periods: o.Periods, Faults: o.Faults,
+		Periods: o.Periods, Faults: o.Faults, Quantum: o.Quantum,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
