@@ -1,0 +1,141 @@
+// Command benchdiff guards against performance regressions: it parses
+// `go test -bench` text output, keeps the best (minimum) ns/op per
+// benchmark across -count repetitions, and compares against a
+// checked-in JSON baseline. Any benchmark slower than the baseline by
+// more than the threshold fails the run — the CI bench-regression
+// gate.
+//
+//	go test -bench . -benchtime=3x -count=3 ./internal/machine | benchdiff -baseline BENCH_baseline.json
+//	go test -bench . -benchtime=3x -count=3 ./... | benchdiff -baseline BENCH_baseline.json -update
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line; the -N GOMAXPROCS
+// suffix is stripped so baselines survive runner core-count changes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse reads benchmark output, returning the minimum ns/op observed
+// per benchmark name. The minimum is the least noisy statistic on
+// shared runners: it bounds the true cost from above with the fewest
+// scheduling artifacts.
+func parse(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+		update    = flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+		threshold = flag.Float64("threshold", 0.25, "maximum tolerated relative ns/op regression")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline path] [-update] [-threshold r] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	current, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmark results in input"))
+	}
+
+	if *update {
+		out, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baseline, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d baselines to %s\n", len(current), *baseline)
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base := make(map[string]float64)
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("benchdiff: %s: %w", *baseline, err))
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, n := range names {
+		cur, ok := current[n]
+		if !ok {
+			fmt.Printf("MISSING  %-60s baseline=%.1f ns/op, not in input\n", n, base[n])
+			failed = true
+			continue
+		}
+		delta := cur/base[n] - 1
+		status := "ok"
+		if delta > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-8s %-60s %10.1f -> %10.1f ns/op (%+.1f%%)\n", status, n, base[n], cur, 100*delta)
+	}
+	for n := range current {
+		if _, ok := base[n]; !ok {
+			fmt.Printf("NEW      %-60s %.1f ns/op (run with -update to record)\n", n, current[n])
+		}
+	}
+	if failed {
+		fmt.Printf("benchdiff: regression beyond %.0f%% threshold\n", 100**threshold)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: txsampler/internal/machine
+BenchmarkSchedulerOpsPerSec/1thread-native-8         	 1000000	       950.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerOpsPerSec/1thread-native-8         	 1000000	       910.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerOpsPerSec/8threads-native-8        	  500000	      2100 ns/op
+BenchmarkHandleSampleInTx-8                          	  300000	      4000 ns/op
+PASS
+`
+
+func TestParseKeepsMinimumAndStripsProcSuffix(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSchedulerOpsPerSec/1thread-native":  910.5,
+		"BenchmarkSchedulerOpsPerSec/8threads-native": 2100,
+		"BenchmarkHandleSampleInTx":                   4000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for n, ns := range want {
+		if got[n] != ns {
+			t.Errorf("%s = %v ns/op, want %v", n, got[n], ns)
+		}
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	got, err := parse(strings.NewReader("PASS\nok  \tpkg\t1.2s\nBenchmark without numbers\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %v from noise", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 
 	"txsampler/internal/experiments"
+	"txsampler/internal/telemetry"
 )
 
 func main() {
@@ -21,21 +22,30 @@ func main() {
 		threads  = flag.Int("threads", 14, "thread count")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent runs (1 = sequential); output is identical for any value")
-		all     = flag.Bool("all", false, "run everything")
-		fig5    = flag.Bool("fig5", false, "Figure 5: runtime overhead per benchmark")
-		fig6    = flag.Bool("fig6", false, "Figure 6: overhead vs thread count")
-		table1  = flag.Bool("table1", false, "Table 1: CLOMP-TM inputs")
-		fig7    = flag.Bool("fig7", false, "Figure 7: CLOMP-TM decompositions")
-		fig8    = flag.Bool("fig8", false, "Figure 8: application categorization")
-		table2  = flag.Bool("table2", false, "Table 2: optimization speedups")
-		mem     = flag.Bool("mem", false, "collector memory overhead")
-		acc     = flag.Bool("accuracy", false, "attribution accuracy vs a conventional profiler")
-		tsx     = flag.Bool("tsxprof", false, "record-and-replay baseline comparison (TSXProf-style)")
-		caseN   = flag.String("case", "", "case study: dedup | leveldb | histo")
+		all      = flag.Bool("all", false, "run everything")
+		fig5     = flag.Bool("fig5", false, "Figure 5: runtime overhead per benchmark")
+		fig6     = flag.Bool("fig6", false, "Figure 6: overhead vs thread count")
+		table1   = flag.Bool("table1", false, "Table 1: CLOMP-TM inputs")
+		fig7     = flag.Bool("fig7", false, "Figure 7: CLOMP-TM decompositions")
+		fig8     = flag.Bool("fig8", false, "Figure 8: application categorization")
+		table2   = flag.Bool("table2", false, "Table 2: optimization speedups")
+		mem      = flag.Bool("mem", false, "collector memory overhead")
+		acc      = flag.Bool("accuracy", false, "attribution accuracy vs a conventional profiler")
+		tsx      = flag.Bool("tsxprof", false, "record-and-replay baseline comparison (TSXProf-style)")
+		caseN    = flag.String("case", "", "case study: dedup | leveldb | histo")
+		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	)
 	flag.Parse()
 	if *parallel < 1 {
 		log.Fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	if *dbgAddr != "" {
+		srv, err := telemetry.ServeDebug(*dbgAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", srv.Addr)
 	}
 	experiments.Parallel = *parallel
 	w := os.Stdout

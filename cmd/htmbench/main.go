@@ -1,10 +1,14 @@
 // Command htmbench lists and natively runs HTMBench workloads,
-// printing exact ground-truth statistics (no profiler attached).
+// printing exact ground-truth statistics (no profiler attached). With
+// -profiledir it instead profiles each workload and saves the profile
+// databases — the CI determinism job diffs those across runs, worker
+// counts, and quanta.
 //
 //	htmbench -list
 //	htmbench -suite stamp
 //	htmbench stamp/vacation synchro/linkedlist
 //	htmbench -all
+//	htmbench -seed 5 -profiledir /tmp/profiles stamp/vacation
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -20,6 +25,8 @@ import (
 	"txsampler"
 	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
+	"txsampler/internal/profile"
+	"txsampler/internal/telemetry"
 	"txsampler/internal/tsxprof"
 )
 
@@ -33,8 +40,20 @@ func main() {
 		trace    = flag.String("trace", "", "record one workload and write a Chrome trace (chrome://tracing) to this path")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent workloads (1 = sequential); output is identical for any value")
 		fplan    = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
+		quantum  = flag.Int("quantum", 0, "scheduler run quantum in ops (0 = machine default; results are quantum-invariant)")
+		profdir  = flag.String("profiledir", "", "profile each workload and save its database to this directory (name: workload with / -> _, .json)")
+		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	)
 	flag.Parse()
+
+	if *dbgAddr != "" {
+		srv, err := telemetry.ServeDebug(*dbgAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", srv.Addr)
+	}
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "htmbench: -parallel must be >= 1 (got %d)\n", *parallel)
 		os.Exit(2)
@@ -114,7 +133,7 @@ func main() {
 				if i >= len(names) {
 					return
 				}
-				lines[i], errs[i] = runOne(names[i], *threads, *seed, plan)
+				lines[i], errs[i] = runOne(names[i], *threads, *seed, plan, *quantum, *profdir)
 			}
 		}()
 	}
@@ -127,10 +146,21 @@ func main() {
 	}
 }
 
-func runOne(name string, threads int, seed int64, plan faults.Plan) (string, error) {
-	res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Faults: plan})
+func runOne(name string, threads int, seed int64, plan faults.Plan, quantum int, profdir string) (string, error) {
+	opt := txsampler.Options{Threads: threads, Seed: seed, Faults: plan, Quantum: quantum}
+	if profdir != "" {
+		opt.Profile = true
+		opt.Metrics = telemetry.NewRegistry()
+	}
+	res, err := txsampler.Run(name, opt)
 	if err != nil {
 		return "", err
+	}
+	if profdir != "" {
+		path := filepath.Join(profdir, strings.ReplaceAll(name, "/", "_")+".json")
+		if err := profile.FromReport(res.Report).Save(path); err != nil {
+			return "", err
+		}
 	}
 	g := res.GroundTruth
 	var aborts uint64

@@ -15,6 +15,7 @@ import (
 	"txsampler"
 	"txsampler/internal/analyzer"
 	"txsampler/internal/profile"
+	"txsampler/internal/telemetry"
 )
 
 func main() {
@@ -23,8 +24,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed for -run")
 		run     = flag.Bool("run", false, "arguments are workload names to profile, not saved databases")
 		top     = flag.Int("top", 8, "number of moving contexts to show")
+		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	)
 	flag.Parse()
+	if *dbgAddr != "" {
+		srv, err := telemetry.ServeDebug(*dbgAddr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", srv.Addr)
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: txdiff [-run] [-threads N] [-seed S] <before> <after>")
 		os.Exit(2)

@@ -10,6 +10,8 @@
 //	txsampler -o dedup.json parsec/dedup
 //	txsampler -view dedup.json
 //	txsampler -faults storm stamp/vacation
+//	txsampler -trace dedup.trace.json parsec/dedup
+//	txsampler -debug-addr localhost:6060 stamp/vacation
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"txsampler/internal/htmbench"
 	"txsampler/internal/lbr"
 	"txsampler/internal/profile"
+	"txsampler/internal/telemetry"
 	"txsampler/internal/viewer"
 )
 
@@ -42,8 +45,21 @@ func main() {
 		plot    = flag.String("plot", "", "plot per-thread CS time for a context path, e.g. 'thread_root>tm_begin'")
 		html    = flag.String("html", "", "write a standalone HTML report to this path")
 		fplan   = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
+		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing or Perfetto) of the run to this path")
+		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
+		quantum = flag.Int("quantum", 0, "scheduler run quantum in ops (0 = machine default; results are quantum-invariant)")
 	)
 	flag.Parse()
+
+	metrics := telemetry.NewRegistry()
+	if *dbgAddr != "" {
+		srv, err := telemetry.ServeDebug(*dbgAddr, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (pprof, expvar, metrics)\n", srv.Addr)
+	}
 
 	plan, err := faults.ParsePlan(*fplan)
 	if err != nil {
@@ -64,6 +80,10 @@ func main() {
 		viewer.Histogram(os.Stdout, r)
 		fmt.Println()
 		viewer.DataQuality(os.Stdout, r)
+		if len(r.Self) > 0 {
+			fmt.Println()
+			viewer.SelfReport(os.Stdout, r)
+		}
 		return
 	}
 
@@ -79,7 +99,7 @@ func main() {
 	}
 	name := flag.Arg(0)
 	if *acc {
-		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan})
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -93,11 +113,33 @@ func main() {
 		}
 		return
 	}
+	var tracer *telemetry.Tracer
+	if *tracef != "" {
+		tracer = telemetry.NewTracer(0)
+	}
 	res, err := txsampler.Run(name, txsampler.Options{
 		Threads: *threads, Seed: *seed, Profile: !*native, Faults: plan,
+		Quantum: *quantum, Trace: tracer, Metrics: metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d events", *tracef, tracer.Len())
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf(", %d dropped", d)
+		}
+		fmt.Println(") — load in chrome://tracing or https://ui.perfetto.dev")
 	}
 	if plan.Enabled() {
 		fmt.Printf("fault injection: %s\n", plan)
@@ -161,5 +203,7 @@ func main() {
 		fmt.Println()
 		res.Advice.Render(os.Stdout)
 		fmt.Printf("\ncollector state: %.1f KiB\n", float64(res.CollectorBytes)/1024)
+		fmt.Println()
+		viewer.SelfReport(os.Stdout, res.Report)
 	}
 }

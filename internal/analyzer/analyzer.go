@@ -13,12 +13,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"txsampler/internal/cct"
 	"txsampler/internal/core"
 	"txsampler/internal/htm"
 	"txsampler/internal/lbr"
 	"txsampler/internal/pmu"
+	"txsampler/internal/telemetry"
 )
 
 // ThreadSummary is one thread's sampled commit/abort balance, the
@@ -52,12 +54,26 @@ type Report struct {
 	// collector's malformed/unresolvable-sample counters plus, when a
 	// frontend merged them in, the machine's fault-injection stats.
 	Quality core.DataQuality
+
+	// Self is the profiler self-report: the telemetry snapshot of the
+	// run that produced this profile (machine, collector, and analyzer
+	// self-metrics). Nil when telemetry was disabled. Volatile
+	// (wall-clock) entries are dropped when the report is serialized.
+	Self []telemetry.MetricValue
 }
 
 // Analyze merges a collector's per-thread profiles with a reduction
 // tree (pairs at each round, mirroring the paper's parallel merge) and
 // derives the report.
 func Analyze(program string, col *core.Collector) *Report {
+	return AnalyzeInstrumented(program, col, nil, nil)
+}
+
+// AnalyzeInstrumented is Analyze with self-telemetry: the copy and
+// reduction phases become spans on the tracer's analyzer track
+// (virtual sequence timestamps, deterministic), per-phase wall time
+// lands in reg as volatile gauges, and the merge fan-in is counted.
+func AnalyzeInstrumented(program string, col *core.Collector, tr *telemetry.Tracer, reg *telemetry.Registry) *Report {
 	profiles := col.Profiles()
 	r := &Report{
 		Program: program,
@@ -66,6 +82,8 @@ func Analyze(program string, col *core.Collector) *Report {
 		Quality: col.Quality(),
 	}
 	r.Profiles = profiles
+	start := time.Now()
+	tr.BeginPhase("analyze:copy")
 	trees := make([]*core.Tree, len(profiles))
 	for i, p := range profiles {
 		// Copy each profile tree so analysis never mutates collector
@@ -80,16 +98,21 @@ func Analyze(program string, col *core.Collector) *Report {
 			AbortSamples:  p.Totals.AppAborts(),
 		})
 	}
+	tr.EndPhase("analyze:copy")
+	copied := time.Now()
 	// Reduction tree: combine pairs until one remains. Pairs within a
 	// round are independent, so they merge in parallel — the paper's
 	// parallelized coalescing (§6, citing the HPCToolkit reduction
 	// tree).
+	tr.BeginPhase("analyze:reduce")
+	var merges uint64
 	for len(trees) > 1 {
 		var next []*core.Tree
 		var wg sync.WaitGroup
 		for i := 0; i < len(trees); i += 2 {
 			if i+1 < len(trees) {
 				wg.Add(1)
+				merges++
 				go func(dst, src *core.Tree) {
 					defer wg.Done()
 					dst.Merge(src, mergeMetrics)
@@ -100,10 +123,17 @@ func Analyze(program string, col *core.Collector) *Report {
 		wg.Wait()
 		trees = next
 	}
+	tr.EndPhase("analyze:reduce")
 	if len(trees) == 1 {
 		r.Merged = trees[0]
 	} else {
 		r.Merged = newTree()
+	}
+	if reg != nil {
+		reg.Counter("analyzer.merges").Add(merges)
+		reg.Gauge("analyzer.merged.nodes", false).Set(uint64(r.Merged.Size()))
+		reg.Gauge("analyzer.phase.copy.wall_ns", true).Set(uint64(copied.Sub(start)))
+		reg.Gauge("analyzer.phase.reduce.wall_ns", true).Set(uint64(time.Since(copied)))
 	}
 	return r
 }

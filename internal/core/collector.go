@@ -26,6 +26,7 @@ import (
 	"txsampler/internal/pmu"
 	"txsampler/internal/rtm"
 	"txsampler/internal/shadow"
+	"txsampler/internal/telemetry"
 )
 
 // BeginInTx is the pseudo-frame the collector inserts between the
@@ -179,6 +180,12 @@ type Profile struct {
 	// Keyed by FNV hash with full equality verification on hit.
 	paths     map[uint64][]cachedPath
 	pathCount int
+
+	// Self-telemetry counters (plain: sample delivery is serialized
+	// by the machine's baton scheduler), published via PublishMetrics.
+	cacheHits    uint64 // path-cache lookups resolved without rebuild
+	cacheMisses  uint64 // lookups that re-ran the reconstruction
+	inTxResolved uint64 // in-tx contexts rebuilt from LBR evidence
 }
 
 // cachedPath memoizes one derived calling context. The stored slices
@@ -294,8 +301,10 @@ func (c *Collector) contextNode(p *Profile, s *machine.Sample) (node *Node, inTx
 		if evidence && (e.ip != s.IP || !entriesEqual(e.lbr, s.LBR)) {
 			continue
 		}
+		p.cacheHits++
 		return e.node, e.inTx, e.truncated
 	}
+	p.cacheMisses++
 	frames, inTx, truncated := c.context(s)
 	node = p.Tree.Path(frames)
 	if p.pathCount >= pathCacheLimit {
@@ -359,6 +368,9 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 		c.quality.InconsistentState++
 	}
 	node, inTx, truncated := c.contextNode(p, s)
+	if inTx {
+		p.inTxResolved++
+	}
 	m := &node.Data
 	if truncated {
 		m.Truncated++
@@ -455,6 +467,47 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 			m.FalseSharing++
 			p.Totals.FalseSharing++
 		}
+	}
+}
+
+// PublishMetrics writes the collector's self-telemetry into reg:
+// samples ingested, calling-context cache hit rate, LBR in-transaction
+// reconstructions resolved vs. failed, degradation counters, CCT size,
+// and the per-sample abort-weight distribution. Everything published
+// is a deterministic function of the sample stream. A nil registry is
+// ignored.
+func (c *Collector) PublishMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	var samples, hits, misses, resolved, nodes uint64
+	for _, p := range c.profiles {
+		samples += p.Samples
+		hits += p.cacheHits
+		misses += p.cacheMisses
+		resolved += p.inTxResolved
+		nodes += uint64(p.Tree.Size())
+	}
+	reg.Counter("collector.samples.ingested").Add(samples)
+	reg.Counter("collector.pathcache.hits").Add(hits)
+	reg.Counter("collector.pathcache.misses").Add(misses)
+	reg.Counter("collector.lbr.resolved").Add(resolved)
+	reg.Counter("collector.lbr.unresolved").Add(c.quality.UnresolvedInTx)
+	reg.Counter("collector.samples.malformed").Add(c.quality.MalformedSamples)
+	reg.Counter("collector.paths.truncated").Add(c.quality.TruncatedPaths)
+	reg.Gauge("collector.cct.nodes", false).Set(nodes)
+	reg.Gauge("collector.memory.bytes", false).Set(uint64(c.MemoryFootprint()))
+	hist := reg.Histogram("collector.abort.weight")
+	for _, p := range c.profiles {
+		p.Tree.Walk(func(n *Node, _ int) {
+			for cause, w := range n.Data.AbortWeight {
+				if n.Data.AbortCount[cause] > 0 && w > 0 {
+					// One aggregate observation per (context, cause):
+					// the mean sampled abort weight there.
+					hist.Observe(w / n.Data.AbortCount[cause])
+				}
+			}
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"txsampler/internal/pmu"
+	"txsampler/internal/telemetry"
 )
 
 func BenchmarkOpThroughputSingleThread(b *testing.B) {
@@ -70,6 +71,30 @@ func BenchmarkSchedulerOpsPerSec(b *testing.B) {
 		}()
 		<-done
 	})
+}
+
+// BenchmarkTelemetryOverhead bounds what the telemetry hooks cost the
+// scheduler hot path. "off" is the shipping default — a nil tracer,
+// one predictable branch per instrumentation site — and must stay
+// within 2% of BenchmarkSchedulerOpsPerSec/8threads-native; "on"
+// shows the full recording cost for comparison.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, tr *telemetry.Tracer) {
+		b.ReportAllocs()
+		m := New(Config{Threads: 8, Trace: tr})
+		done := make(chan struct{})
+		go func() {
+			_ = m.RunAll(func(t *Thread) {
+				for i := 0; i < b.N/8+1; i++ {
+					t.Compute(1)
+				}
+			})
+			close(done)
+		}()
+		<-done
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, telemetry.NewTracer(0)) })
 }
 
 func BenchmarkTransactionalIncrement(b *testing.B) {

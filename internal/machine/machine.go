@@ -30,6 +30,7 @@ import (
 	"txsampler/internal/htm"
 	"txsampler/internal/mem"
 	"txsampler/internal/pmu"
+	"txsampler/internal/telemetry"
 )
 
 // Costs is the cycle cost model for non-memory operations. Memory
@@ -106,6 +107,13 @@ type Config struct {
 	// rendezvous after every operation (the per-op debug schedule).
 	// The schedule itself is quantum-invariant; see DESIGN.md.
 	Quantum int
+
+	// Trace, when non-nil, records scheduler baton tenures,
+	// transaction regions (with abort causes), and PMU interrupt
+	// deliveries, timestamped with virtual cycle clocks — the trace
+	// content is deterministic for a seed and invariant to Quantum.
+	// Nil disables tracing; instrumented paths then pay one branch.
+	Trace *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -337,6 +345,7 @@ func (m *Machine) pickNextLocked() (*Thread, error) {
 func (m *Machine) grantLocked(t *Thread) {
 	m.setHorizonLocked(t)
 	t.sinceYield = 0
+	t.sliceStart = t.clock
 	m.sched.running = t.ID
 	t.granted = true
 	t.cond.Signal()

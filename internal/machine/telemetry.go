@@ -1,0 +1,94 @@
+package machine
+
+// Telemetry instrumentation: the machine emits trace events for
+// scheduler baton tenures, transaction regions, and PMU interrupt
+// deliveries, and publishes exact post-run counters into a metrics
+// registry. Every emitted value is virtual (cycle clocks, cause
+// codes), so traces and metrics are deterministic for a seed and
+// invariant to the run quantum — run-slice boundaries are the actual
+// thread switches of the canonical per-op schedule, which the quantum
+// provably does not move (DESIGN.md §3.1).
+
+import (
+	"fmt"
+
+	"txsampler/internal/htm"
+	"txsampler/internal/pmu"
+	"txsampler/internal/telemetry"
+)
+
+// abortEventNames and pmiEventNames pre-format the trace names so hot
+// paths emit constant strings instead of formatting.
+var abortEventNames = func() [htm.NumCauses]string {
+	var names [htm.NumCauses]string
+	for c := range names {
+		names[c] = "tx-abort:" + htm.Cause(c).String()
+	}
+	return names
+}()
+
+var pmiEventNames = func() [pmu.NumEvents]string {
+	var names [pmu.NumEvents]string
+	for e := range names {
+		names[e] = "pmi:" + pmu.Event(e).String()
+	}
+	return names
+}()
+
+// Tracer returns the tracer the machine was configured with, or nil.
+// Runtime libraries layered on the machine (e.g. internal/rtm) use it
+// to put their own spans on the same virtual timeline.
+func (m *Machine) Tracer() *telemetry.Tracer { return m.cfg.Trace }
+
+// emitRunSlice records one baton tenure of t ending now; called at
+// handoffs and thread completion, under the scheduler mutex.
+func (t *Thread) emitRunSlice() {
+	t.m.cfg.Trace.Emit(telemetry.Event{
+		Kind: telemetry.KindRunSlice, TS: t.sliceStart, Dur: t.clock - t.sliceStart, TID: int32(t.ID),
+	})
+}
+
+// PublishMetrics writes the machine's exact post-run instrumentation
+// into reg: ground-truth commit/abort counts by cause, PMU event and
+// overflow totals, interrupt and sample delivery counts, and the
+// cycle totals. Everything published is deterministic for a seed.
+// Call after Run; a nil registry is ignored.
+func (m *Machine) PublishMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	var commits, interrupts, delivered uint64
+	var aborts [htm.NumCauses]uint64
+	var events, overflows [pmu.NumEvents]uint64
+	for _, t := range m.threads {
+		commits += t.commits
+		interrupts += t.interrupts
+		delivered += t.samplesDelivered
+		for c := range aborts {
+			aborts[c] += t.aborts[c]
+		}
+		for e := 0; e < pmu.NumEvents; e++ {
+			events[e] += t.counters.Total(pmu.Event(e))
+			overflows[e] += t.counters.Overflows(pmu.Event(e))
+		}
+	}
+	reg.Counter("machine.commits").Add(commits)
+	for c, n := range aborts {
+		if htm.Cause(c) == htm.None {
+			continue
+		}
+		reg.Counter("machine.aborts." + htm.Cause(c).String()).Add(n)
+	}
+	reg.Counter("machine.interrupts").Add(interrupts)
+	reg.Counter("machine.samples.delivered").Add(delivered)
+	for e := 0; e < pmu.NumEvents; e++ {
+		if m.cfg.Periods[e] == 0 {
+			continue
+		}
+		name := pmu.Event(e).String()
+		reg.Counter(fmt.Sprintf("machine.pmu.%s.events", name)).Add(events[e])
+		reg.Counter(fmt.Sprintf("machine.pmu.%s.overflows", name)).Add(overflows[e])
+	}
+	reg.Gauge("machine.cycles.elapsed", false).Set(m.Elapsed())
+	reg.Gauge("machine.cycles.total", false).Set(m.TotalCycles())
+}

@@ -9,6 +9,7 @@ import (
 	"txsampler/internal/lbr"
 	"txsampler/internal/mem"
 	"txsampler/internal/pmu"
+	"txsampler/internal/telemetry"
 )
 
 // txAbortSentinel is the private panic value used to unwind a thread's
@@ -81,6 +82,12 @@ type Thread struct {
 	opCount    uint64 // operations completed (diagnostics)
 	quantum    uint64 // rendezvous at least every quantum operations
 	maxCycles  uint64 // cached Config.MaxCycles
+
+	// Telemetry state: the clock at the last baton grant (run-slice
+	// start) and exact delivery counts published post-run.
+	sliceStart       uint64
+	interrupts       uint64 // PMU interrupts taken
+	samplesDelivered uint64 // samples handed to the handler
 }
 
 func newThread(m *Machine, id int) *Thread {
@@ -138,6 +145,9 @@ func (t *Thread) finish(panicked any) {
 	st.done = true
 	s.status[t.ID] = st
 	s.progress.Add(1)
+	if t.m.cfg.Trace != nil {
+		t.emitRunSlice()
+	}
 	for i, c := range s.live {
 		if c == t {
 			s.live = append(s.live[:i], s.live[i+1:]...)
@@ -186,11 +196,16 @@ func (t *Thread) rendezvous() {
 		t.parkLocked()
 	}
 	if next == t {
+		// The baton stays here: the run slice continues, so no trace
+		// event — slice boundaries stay quantum-invariant.
 		t.m.setHorizonLocked(t)
 		t.sinceYield = 0
 		s.running = t.ID
 		s.mu.Unlock()
 		return
+	}
+	if t.m.cfg.Trace != nil {
+		t.emitRunSlice()
 	}
 	t.m.grantLocked(next)
 	for !t.granted {
@@ -343,6 +358,12 @@ func (t *Thread) rollback() (abortOverflow bool) {
 	t.clock += t.m.cfg.Costs.TxAbort
 	t.counters.Add(pmu.Cycles, t.m.cfg.Costs.TxAbort)
 	t.aborts[cause]++
+	if t.m.cfg.Trace != nil {
+		t.m.cfg.Trace.Emit(telemetry.Event{
+			Kind: telemetry.KindTxAbort, TS: tx.StartCycle, Dur: t.clock - tx.StartCycle,
+			TID: int32(t.ID), Arg: uint64(cause), Name: abortEventNames[cause],
+		})
+	}
 	abortOverflow = t.counters.Add(pmu.TxAbort, 1)
 	t.lastAbort = AbortInfo{
 		Cause:        cause,
@@ -364,6 +385,7 @@ func (t *Thread) abortNow() {
 	from := t.curIP()
 	overflow := t.rollback()
 	if overflow && t.m.handler != nil {
+		t.interrupts++
 		events := [1]pmu.Event{pmu.TxAbort}
 		t.deliverSamples(events[:], from, truth, true, opMeta{})
 	}
@@ -376,6 +398,7 @@ func (t *Thread) abortNow() {
 // whose top entry has the abort bit set); otherwise the LBR records a
 // plain interrupt branch.
 func (t *Thread) deliverInterrupt(events []pmu.Event, meta opMeta) {
+	t.interrupts++
 	truth := t.stackIPs()
 	ip := t.curIP()
 	wasInTx := t.tx != nil
@@ -444,6 +467,13 @@ func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, w
 		}
 		if ev == pmu.TxAbort {
 			s.Abort = &t.lastAbort
+		}
+		t.samplesDelivered++
+		if t.m.cfg.Trace != nil {
+			t.m.cfg.Trace.Emit(telemetry.Event{
+				Kind: telemetry.KindInterrupt, TS: t.clock, TID: int32(t.ID),
+				Arg: uint64(ev), Name: pmiEventNames[ev],
+			})
 		}
 		t.m.handler.HandleSample(s)
 		t.clock += t.m.cfg.HandlerCost
@@ -696,6 +726,12 @@ func (t *Thread) TxCommit() {
 			t.m.Mem.Store(a, v)
 		}
 		t.commits++
+		if t.m.cfg.Trace != nil {
+			t.m.cfg.Trace.Emit(telemetry.Event{
+				Kind: telemetry.KindTx, TS: t.tx.StartCycle,
+				Dur: t.clock - t.tx.StartCycle, TID: int32(t.ID),
+			})
+		}
 		t.tx = nil
 		cost = t.m.cfg.Costs.TxEnd
 	}

@@ -68,12 +68,13 @@ func DefaultPeriods() Periods {
 // Counters is one thread's PMU state. The zero value counts nothing;
 // configure with SetPeriods.
 type Counters struct {
-	periods Periods
-	pending [NumEvents]uint64 // events since last overflow
-	next    [NumEvents]uint64 // jittered threshold for the next overflow
-	totals  [NumEvents]uint64
-	frozen  bool
-	jitter  uint64 // xorshift state; 0 = jitter disabled
+	periods   Periods
+	pending   [NumEvents]uint64 // events since last overflow
+	next      [NumEvents]uint64 // jittered threshold for the next overflow
+	totals    [NumEvents]uint64
+	overflows [NumEvents]uint64 // overflow interrupts generated
+	frozen    bool
+	jitter    uint64 // xorshift state; 0 = jitter disabled
 }
 
 // SetPeriods installs sampling periods and clears pending counts.
@@ -139,6 +140,7 @@ func (c *Counters) Add(e Event, n uint64) (overflowed bool) {
 			c.pending[e] %= c.periods[e]
 		}
 		c.next[e] = c.threshold(e)
+		c.overflows[e]++
 		return true
 	}
 	return false
@@ -146,3 +148,7 @@ func (c *Counters) Add(e Event, n uint64) (overflowed bool) {
 
 // Total returns the lifetime count of event e.
 func (c *Counters) Total(e Event) uint64 { return c.totals[e] }
+
+// Overflows returns how many overflow interrupts event e generated —
+// the profiler self-report's sampling-pressure metric.
+func (c *Counters) Overflows(e Event) uint64 { return c.overflows[e] }

@@ -17,6 +17,7 @@ import (
 	"txsampler/internal/core"
 	"txsampler/internal/lbr"
 	"txsampler/internal/pmu"
+	"txsampler/internal/telemetry"
 )
 
 // FormatVersion identifies the database layout.
@@ -47,6 +48,12 @@ type Database struct {
 	Quality   core.DataQuality `json:"quality"`
 	PerThread []Thread         `json:"per_thread"`
 	Root      *Node            `json:"cct"`
+
+	// Telemetry is the profiler self-report captured when the profile
+	// was produced (machine, collector, analyzer self-metrics).
+	// Volatile wall-clock entries are stripped before serialization so
+	// databases from identical seeds stay byte-identical.
+	Telemetry []telemetry.MetricValue `json:"telemetry,omitempty"`
 }
 
 // FromReport converts an analyzer report into a database.
@@ -67,6 +74,11 @@ func FromReport(r *analyzer.Report) *Database {
 		db.PerThread = append(db.PerThread, Thread{TID: t.TID, CommitSamples: t.CommitSamples, AbortSamples: t.AbortSamples})
 	}
 	db.Root = fromNode(r.Merged.Root)
+	for _, mv := range r.Self {
+		if !mv.Volatile {
+			db.Telemetry = append(db.Telemetry, mv)
+		}
+	}
 	return db
 }
 
@@ -103,6 +115,7 @@ func (db *Database) Report() *analyzer.Report {
 		r.Merged.Root.Data = db.Root.Metrics
 		attach(r.Merged.Root, db.Root.Children)
 	}
+	r.Self = db.Telemetry
 	return r
 }
 

@@ -20,6 +20,7 @@ import (
 	"txsampler/internal/htm"
 	"txsampler/internal/machine"
 	"txsampler/internal/mem"
+	"txsampler/internal/telemetry"
 )
 
 // State word bits (paper §3.2).
@@ -325,10 +326,18 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			t.Compute(2)
 		}
 	}
+	tr := t.Machine().Tracer()
+	held := t.Clock() // lock acquired; the serialization span begins
 	t.State = InCS | InFallback
 	body()
 	t.State = InCS | InOverhead
 	t.Store(l.Addr, 0) // release
+	if tr.Enabled() {
+		tr.Emit(telemetry.Event{
+			Kind: telemetry.KindSpan, TS: held, Dur: t.Clock() - held,
+			TID: int32(t.ID), Name: "fallback-lock",
+		})
+	}
 	l.emit(t, EventFallback)
 	t.State = 0
 	l.Stats.Fallbacks++

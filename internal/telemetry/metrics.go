@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of power-of-two histogram buckets: bucket
+// i counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts
+// zero), capped so the last bucket absorbs everything larger.
+const NumBuckets = 32
+
+// Counter is a monotonically increasing metric. A nil Counter ignores
+// writes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-latest metric. Volatile gauges carry wall-clock
+// or otherwise non-deterministic values: they appear in the live
+// self-report and debug endpoints but are excluded from serialized
+// profiles and traces. A nil Gauge ignores writes.
+type Gauge struct {
+	v        atomic.Uint64
+	volatile bool
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v uint64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates a distribution in power-of-two buckets. A nil
+// Histogram ignores writes.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// bucketOf returns the bucket index for one observation.
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// metric is one registered metric of any kind.
+type metric struct {
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named metrics. Registration (Counter, Gauge,
+// Histogram) is get-or-create and not for hot paths: instrumented
+// code registers once and holds the returned pointer. A nil Registry
+// returns nil instruments, which ignore writes.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) get(name string) *metric {
+	m := r.metrics[name]
+	if m == nil {
+		m = &metric{}
+		r.metrics[name] = m
+	}
+	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.get(name)
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// Gauge returns the named gauge, creating it on first use. volatile
+// marks the value non-deterministic (wall time); volatile gauges are
+// excluded from deterministic snapshots.
+func (r *Registry) Gauge(name string, volatile bool) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.get(name)
+	if m.gauge == nil {
+		m.gauge = &Gauge{volatile: volatile}
+	}
+	return m.gauge
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.get(name)
+	if m.hist == nil {
+		m.hist = &Histogram{}
+	}
+	return m.hist
+}
+
+// Bucket is one non-empty histogram bucket: Count observations in
+// [Lo, Hi).
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// MetricValue is one metric's snapshot, the serialized self-report
+// unit. Kind is "counter", "gauge", or "histogram".
+type MetricValue struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   uint64   `json:"value,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+
+	// Volatile marks wall-clock values; profile serialization drops
+	// them so databases stay byte-identical across identical-seed
+	// runs.
+	Volatile bool `json:"-"`
+}
+
+// Snapshot returns every metric's current value sorted by name. With
+// includeVolatile false the result is deterministic for a
+// deterministic instrumentation stream: wall-clock gauges are
+// omitted.
+func (r *Registry) Snapshot(includeVolatile bool) []MetricValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []MetricValue
+	for _, n := range names {
+		m := r.metrics[n]
+		if m.counter != nil {
+			out = append(out, MetricValue{Name: n, Kind: "counter", Value: m.counter.Value()})
+		}
+		if m.gauge != nil {
+			if m.gauge.volatile && !includeVolatile {
+				continue
+			}
+			out = append(out, MetricValue{Name: n, Kind: "gauge", Value: m.gauge.Value(), Volatile: m.gauge.volatile})
+		}
+		if m.hist != nil {
+			mv := MetricValue{Name: n, Kind: "histogram", Count: m.hist.Count(), Sum: m.hist.Sum()}
+			for i := range m.hist.buckets {
+				c := m.hist.buckets[i].Load()
+				if c == 0 {
+					continue
+				}
+				var lo, hi uint64
+				if i > 0 {
+					lo = uint64(1) << (i - 1)
+				}
+				if i < NumBuckets-1 {
+					hi = uint64(1) << i
+				}
+				mv.Buckets = append(mv.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+			}
+			out = append(out, mv)
+		}
+	}
+	return out
+}
+
+// WriteText renders a snapshot as aligned plain text, the format the
+// /metrics debug endpoint and the report self-report section share.
+func WriteText(w io.Writer, snap []MetricValue) {
+	for _, mv := range snap {
+		switch mv.Kind {
+		case "histogram":
+			mean := float64(0)
+			if mv.Count > 0 {
+				mean = float64(mv.Sum) / float64(mv.Count)
+			}
+			fmt.Fprintf(w, "  %-44s count=%d sum=%d mean=%.1f\n", mv.Name, mv.Count, mv.Sum, mean)
+			for _, b := range mv.Buckets {
+				if b.Hi == 0 {
+					fmt.Fprintf(w, "    [%d, inf): %d\n", b.Lo, b.Count)
+				} else {
+					fmt.Fprintf(w, "    [%d, %d): %d\n", b.Lo, b.Hi, b.Count)
+				}
+			}
+		default:
+			fmt.Fprintf(w, "  %-44s %d\n", mv.Name, mv.Value)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package telemetry is TxSampler-Go's zero-dependency self-profiling
+// layer: the profiler measuring itself, the property the paper sells
+// ("lightweight, always-on", §1, §7.3) applied to our own
+// reproduction.
+//
+// It provides three facilities:
+//
+//   - Tracer: a fixed-capacity ring buffer of span/instant events —
+//     scheduler run slices, transaction regions with abort causes,
+//     PMU interrupt deliveries, RTM fallback serialization, analyzer
+//     phases — exported as Chrome trace-event JSON loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+//   - Registry: a counter/gauge/histogram metrics registry rendered
+//     as the "Profiler self-report" section of the text and HTML
+//     reports and serialized into profile databases.
+//   - ServeDebug: opt-in net/http/pprof + expvar + /metrics endpoints
+//     for the CLIs (-debug-addr).
+//
+// Determinism contract: every value a simulated run feeds the tracer
+// is virtual — thread cycle clocks, event kinds, cause codes — so for
+// a fixed seed the exported trace is byte-identical across runs and
+// invariant to the scheduler quantum and any -parallel sharding (the
+// schedule itself is quantum-invariant; see DESIGN.md §3.1 and §8).
+// Wall-clock measurements (per-phase wall time) are recorded as
+// volatile gauges: visible in the live self-report and debug
+// endpoints, excluded from traces and profile databases so those
+// artifacts stay diffable in CI.
+//
+// All entry points are nil-receiver safe: a nil *Tracer, *Registry,
+// *Counter, *Gauge, or *Histogram ignores writes, so instrumented
+// code pays one branch — no allocation, no formatting — when
+// telemetry is disabled.
+package telemetry

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsIgnoreWrites(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindTx})
+	tr.BeginPhase("p")
+	tr.EndPhase("p")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	reg.Gauge("g", false).Set(1)
+	reg.Histogram("h").Observe(1)
+	if reg.Snapshot(true) != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{TS: uint64(i), Kind: KindInstant})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, ev := range evs {
+		if want := uint64(i + 3); ev.TS != want {
+			t.Fatalf("event %d has TS %d, want %d (oldest-first order)", i, ev.TS, want)
+		}
+	}
+}
+
+func TestPhasesNestAndIgnoreUnmatchedEnd(t *testing.T) {
+	tr := NewTracer(16)
+	tr.BeginPhase("outer")
+	tr.BeginPhase("inner")
+	tr.EndPhase("inner")
+	tr.EndPhase("outer")
+	tr.EndPhase("never-opened")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d phase events, want 2", len(evs))
+	}
+	// inner closes first; both are KindPhase with seq timestamps.
+	if evs[0].Name != "inner" || evs[1].Name != "outer" {
+		t.Fatalf("phase order = %q, %q", evs[0].Name, evs[1].Name)
+	}
+	if evs[1].TS >= evs[1].TS+evs[1].Dur || evs[0].TS <= evs[1].TS {
+		t.Fatal("virtual phase clocks are not ordered")
+	}
+}
+
+func TestChromeTraceIsValidJSONAndDeterministic(t *testing.T) {
+	emit := func() *Tracer {
+		tr := NewTracer(64)
+		tr.Emit(Event{TS: 10, Dur: 5, TID: 0, Kind: KindRunSlice})
+		tr.Emit(Event{TS: 12, Dur: 3, TID: 0, Kind: KindTx})
+		tr.Emit(Event{TS: 16, Dur: 2, TID: 1, Kind: KindTxAbort, Arg: 1, Name: "tx-abort:conflict"})
+		tr.Emit(Event{TS: 18, TID: 1, Kind: KindInterrupt, Name: "pmi:cycles"})
+		tr.BeginPhase("analyze")
+		tr.EndPhase("analyze")
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := emit().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := emit().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical event streams exported different bytes")
+	}
+
+	var out struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			PID   int    `json:"pid"`
+			Scope string `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var meta, spans, instants int
+	pids := map[int]bool{}
+	for _, ev := range out.TraceEvents {
+		pids[ev.PID] = true
+		switch ev.Phase {
+		case "M":
+			meta++
+		case "X":
+			spans++
+		case "i":
+			instants++
+			if ev.Scope != "t" {
+				t.Fatalf("instant %q has scope %q, want t", ev.Name, ev.Scope)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if meta != 3 || spans != 4 || instants != 1 {
+		t.Fatalf("meta/spans/instants = %d/%d/%d, want 3/4/1", meta, spans, instants)
+	}
+	if !pids[PIDMachine] || !pids[PIDScheduler] || !pids[PIDAnalyzer] {
+		t.Fatalf("missing subsystem tracks: %v", pids)
+	}
+}
+
+func TestEmitIsConcurrencySafe(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{TS: uint64(i), TID: int32(g), Kind: KindInstant})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := uint64(tr.Len()) + tr.Dropped(); got != 800 {
+		t.Fatalf("buffered+dropped = %d, want 800", got)
+	}
+}
+
+func TestRegistrySnapshotSortedAndVolatileFiltered(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.counter").Add(2)
+	reg.Counter("b.counter").Add(3)
+	reg.Gauge("c.wall", true).Set(999)
+	reg.Gauge("a.gauge", false).Set(7)
+	reg.Histogram("d.hist").Observe(0)
+	reg.Histogram("d.hist").Observe(3)
+	reg.Histogram("d.hist").Observe(300)
+
+	det := reg.Snapshot(false)
+	names := make([]string, len(det))
+	for i, mv := range det {
+		names[i] = mv.Name
+	}
+	if strings.Join(names, ",") != "a.gauge,b.counter,d.hist" {
+		t.Fatalf("deterministic snapshot = %v", names)
+	}
+	if det[1].Value != 5 {
+		t.Fatalf("counter = %d, want 5", det[1].Value)
+	}
+	if det[2].Count != 3 || det[2].Sum != 303 || len(det[2].Buckets) != 3 {
+		t.Fatalf("histogram = %+v", det[2])
+	}
+
+	live := reg.Snapshot(true)
+	if len(live) != 4 {
+		t.Fatalf("live snapshot has %d entries, want 4", len(live))
+	}
+	for _, mv := range live {
+		if mv.Name == "c.wall" && !mv.Volatile {
+			t.Fatal("wall gauge not marked volatile")
+		}
+	}
+}
+
+func TestWriteTextRendersEveryKind(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("samples").Add(42)
+	reg.Histogram("weights").Observe(100)
+	var b strings.Builder
+	WriteText(&b, reg.Snapshot(true))
+	out := b.String()
+	for _, want := range []string{"samples", "42", "weights", "count=1 sum=100 mean=100.0", "[64, 128): 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(9)
+	h := DebugHandler(reg)
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/metrics"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "hits") {
+		t.Fatalf("/metrics: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if rec := get("/debug/vars"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "memstats") {
+		t.Fatalf("/debug/vars: code %d", rec.Code)
+	}
+	if rec := get("/debug/pprof/"); rec.Code != 200 {
+		t.Fatalf("/debug/pprof/: code %d", rec.Code)
+	}
+	if rec := get("/"); rec.Code != 200 {
+		t.Fatalf("/: code %d", rec.Code)
+	}
+	if rec := get("/nope"); rec.Code != 404 {
+		t.Fatalf("/nope: code %d, want 404", rec.Code)
+	}
+}
+
+func TestServeDebugBindsEphemeralPort(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr == "" || strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("bound address %q not resolved", srv.Addr)
+	}
+}

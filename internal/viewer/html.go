@@ -43,6 +43,14 @@ type htmlReport struct {
 	PerThread []htmlThread
 	Steps     []decision.Step
 	Advice    []string
+	Self      []htmlMetric
+}
+
+// htmlMetric is one self-report row.
+type htmlMetric struct {
+	Name    string
+	Kind    string
+	Display string
 }
 
 var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
@@ -83,6 +91,10 @@ capacity {{printf "%.1f" .Capacity}}%, sync {{printf "%.1f" .Sync}}%</p>
 <ol>{{range .Steps}}<li>({{.ID}}) <b>{{.Node}}</b> — {{.Finding}}</li>{{end}}</ol>
 <h2>Suggestions</h2>
 <ul>{{range .Advice}}<li>{{.}}</li>{{end}}</ul>
+{{if .Self}}<h2>Profiler self-report</h2>
+<table><tr><th>metric</th><th>kind</th><th>value</th></tr>
+{{range .Self}}<tr><td class="scope">{{.Name}}</td><td>{{.Kind}}</td><td>{{.Display}}</td></tr>
+{{end}}</table>{{end}}
 </body></html>
 `))
 
@@ -168,6 +180,19 @@ func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOpti
 	if advice != nil {
 		data.Steps = advice.Steps
 		data.Advice = advice.Suggestions
+	}
+	for _, mv := range r.Self {
+		var display string
+		if mv.Kind == "histogram" {
+			mean := float64(0)
+			if mv.Count > 0 {
+				mean = float64(mv.Sum) / float64(mv.Count)
+			}
+			display = fmt.Sprintf("count=%d sum=%d mean=%.1f", mv.Count, mv.Sum, mean)
+		} else {
+			display = fmt.Sprintf("%d", mv.Value)
+		}
+		data.Self = append(data.Self, htmlMetric{Name: mv.Name, Kind: mv.Kind, Display: display})
 	}
 	if err := htmlTemplate.Execute(w, data); err != nil {
 		return fmt.Errorf("viewer: %w", err)

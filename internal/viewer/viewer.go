@@ -13,6 +13,7 @@ import (
 	"txsampler/internal/core"
 	"txsampler/internal/htm"
 	"txsampler/internal/lbr"
+	"txsampler/internal/telemetry"
 )
 
 // TreeOptions controls the calling-context view.
@@ -180,6 +181,18 @@ func DataQuality(w io.Writer, r *analyzer.Report) {
 	row("unresolved in-tx contexts", q.UnresolvedInTx)
 	row("inconsistent state words", q.InconsistentState)
 	row("truncated in-tx paths", q.TruncatedPaths)
+}
+
+// SelfReport writes the profiler self-report: the telemetry snapshot
+// of the run that produced this profile (samples ingested, LBR
+// pairings, cache-conflict aborts, context-cache hit rate, per-phase
+// wall time). Silent when the run had telemetry disabled.
+func SelfReport(w io.Writer, r *analyzer.Report) {
+	if len(r.Self) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "=== Profiler self-report ===")
+	telemetry.WriteText(w, r.Self)
 }
 
 // Histogram writes the per-thread commit/abort bar chart the paper's

@@ -22,6 +22,7 @@ package txsampler
 
 import (
 	"fmt"
+	"time"
 
 	"txsampler/internal/analyzer"
 	"txsampler/internal/cache"
@@ -32,6 +33,7 @@ import (
 	"txsampler/internal/machine"
 	"txsampler/internal/pmu"
 	"txsampler/internal/rtm"
+	"txsampler/internal/telemetry"
 )
 
 // BenchCache returns the L1 geometry used for benchmark runs: the
@@ -81,6 +83,15 @@ type Options struct {
 	// default; 1 = per-op scheduling, a debug knob). The schedule is
 	// quantum-invariant — results are bit-identical for any value.
 	Quantum int
+	// Trace, when non-nil, records scheduler, transaction, PMU, and
+	// analyzer-phase events on virtual clocks; export with
+	// Trace.WriteChromeTrace. The trace is deterministic for a seed
+	// and invariant to Quantum.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, receives the profiler's self-metrics
+	// (machine, collector, analyzer); the snapshot is attached to
+	// Report.Self and rendered as the "Profiler self-report".
+	Metrics *telemetry.Registry
 }
 
 // Result is the outcome of one run.
@@ -136,6 +147,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		StartSkew:   1024,
 		Faults:      o.Faults,
 		Quantum:     o.Quantum,
+		Trace:       o.Trace,
 	}
 	if o.Profile {
 		cfg.Periods = o.Periods
@@ -152,7 +164,12 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		col = core.Attach(m)
 	}
 	inst := w.BuildInstance(m, o.Policy)
-	if err := m.Run(inst.Bodies...); err != nil {
+	o.Trace.BeginPhase("run")
+	runStart := time.Now()
+	err := m.Run(inst.Bodies...)
+	runWall := time.Since(runStart)
+	o.Trace.EndPhase("run")
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	if inst.Check != nil && !o.SkipCheck {
@@ -168,10 +185,20 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		GroundTruth:   m.GroundTruth(),
 	}
 	if col != nil {
-		res.Report = analyzer.Analyze(w.Name, col)
+		res.Report = analyzer.AnalyzeInstrumented(w.Name, col, o.Trace, o.Metrics)
 		res.Report.Quality.Injected = m.FaultStats()
 		res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 		res.CollectorBytes = col.MemoryFootprint()
+	}
+	if o.Metrics != nil {
+		m.PublishMetrics(o.Metrics)
+		if col != nil {
+			col.PublishMetrics(o.Metrics)
+		}
+		o.Metrics.Gauge("run.wall_ns", true).Set(uint64(runWall))
+		if res.Report != nil {
+			res.Report.Self = o.Metrics.Snapshot(true)
+		}
 	}
 	return res, nil
 }
@@ -201,6 +228,7 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 		Threads: threads, Cache: cacheCfg, LBRDepth: o.LBRDepth,
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
 		Periods: o.Periods, Faults: o.Faults, Quantum: o.Quantum,
+		Trace: o.Trace,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
@@ -221,10 +249,15 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 		ElapsedCycles: m.Elapsed(), TotalCycles: m.TotalCycles(),
 		GroundTruth: m.GroundTruth(),
 	}
-	res.Report = analyzer.Analyze(w.Name, col)
+	res.Report = analyzer.AnalyzeInstrumented(w.Name, col, o.Trace, o.Metrics)
 	res.Report.Quality.Injected = m.FaultStats()
 	res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 	res.CollectorBytes = col.MemoryFootprint()
+	if o.Metrics != nil {
+		m.PublishMetrics(o.Metrics)
+		col.PublishMetrics(o.Metrics)
+		res.Report.Self = o.Metrics.Snapshot(true)
+	}
 	return res, probe.Accuracy, nil
 }
 
