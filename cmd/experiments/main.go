@@ -1,19 +1,31 @@
 // Command experiments regenerates the paper's tables and figures.
+// SIGINT/SIGTERM cancel the sweep cooperatively — in-flight machine
+// runs stop at a quantum boundary — and the process exits 130. With
+// -sweep the command runs a crash-safe profile campaign over every
+// base workload instead (resumable with -resume; see cmd/profck).
 //
 //	experiments -all
 //	experiments -fig5 -threads 14
 //	experiments -fig7 -table2
 //	experiments -case dedup
+//	experiments -sweep profiles/ -seeds 3
+//	experiments -sweep profiles/ -seeds 3 -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"txsampler/internal/experiments"
+	"txsampler/internal/htmbench"
+	"txsampler/internal/machine"
 	"txsampler/internal/telemetry"
 )
 
@@ -33,6 +45,12 @@ func main() {
 		acc      = flag.Bool("accuracy", false, "attribution accuracy vs a conventional profiler")
 		tsx      = flag.Bool("tsxprof", false, "record-and-replay baseline comparison (TSXProf-style)")
 		caseN    = flag.String("case", "", "case study: dedup | leveldb | histo")
+		sweep    = flag.String("sweep", "", "run a journaled profile campaign over every base workload into this directory")
+		seeds    = flag.Int("seeds", 1, "with -sweep: fan each workload out over this many seeds starting at -seed")
+		resume   = flag.Bool("resume", false, "with -sweep: replay the campaign journal and skip shards whose artifacts verify")
+		retries  = flag.Int("retries", 2, "with -sweep: re-attempts per failed shard (exponential backoff)")
+		shardTO  = flag.Duration("shard-timeout", 0, "with -sweep: per-shard deadline (0 = none)")
+		crashAt  = flag.Int("crash-after-shards", 0, "with -sweep: exit(137) after N shards complete (crash-recovery testing)")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	)
 	flag.Parse()
@@ -47,15 +65,54 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", srv.Addr)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	experiments.Parallel = *parallel
+	experiments.Context = ctx
 	w := os.Stdout
+
+	if *sweep != "" {
+		var names []string
+		for _, wl := range htmbench.All() {
+			if wl.Suite == "opt" {
+				continue
+			}
+			names = append(names, wl.Name)
+		}
+		rep, err := experiments.ProfileCampaign(w, experiments.CampaignConfig{
+			Dir: *sweep, Workloads: names,
+			Threads: *threads, Seed: *seed, Seeds: *seeds,
+			Resume: *resume, Retries: *retries, Timeout: *shardTO,
+			Parallel: *parallel, Context: ctx,
+			CrashAfterShards: *crashAt,
+		})
+		switch {
+		case err != nil && rep != nil && rep.Canceled:
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; resume with -sweep "+*sweep+" -resume")
+			os.Exit(130)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		case rep.Failed > 0:
+			os.Exit(1)
+		}
+		return
+	}
+
+	fail := func(err error) {
+		if errors.Is(err, machine.ErrCanceled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
+		log.Fatal(err)
+	}
 
 	any := false
 	run := func(enabled bool, f func() error) {
 		if enabled || *all {
 			any = true
 			if err := f(); err != nil {
-				log.Fatal(err)
+				fail(err)
 			}
 			fmt.Fprintln(w)
 		}
@@ -71,34 +128,27 @@ func main() {
 	run(*acc, func() error { return experiments.AccuracyComparison(w, *threads, *seed) })
 	run(*tsx, func() error { return experiments.TSXProfComparison(w, *threads, *seed) })
 
+	caseStudy := func(name string) {
+		any = true
+		if _, _, err := experiments.CaseStudy(w, name, *threads, *seed); err != nil {
+			fail(err)
+		}
+	}
 	switch *caseN {
 	case "":
 	case "dedup":
-		any = true
-		if _, _, err := experiments.CaseStudy(w, "parsec/dedup", *threads, *seed); err != nil {
-			log.Fatal(err)
-		}
+		caseStudy("parsec/dedup")
 	case "leveldb":
-		any = true
-		if _, _, err := experiments.CaseStudy(w, "app/leveldb", *threads, *seed); err != nil {
-			log.Fatal(err)
-		}
+		caseStudy("app/leveldb")
 	case "histo":
-		any = true
-		if _, _, err := experiments.CaseStudy(w, "parboil/histo-1", *threads, *seed); err != nil {
-			log.Fatal(err)
-		}
-		if _, _, err := experiments.CaseStudy(w, "parboil/histo-2", *threads, *seed); err != nil {
-			log.Fatal(err)
-		}
+		caseStudy("parboil/histo-1")
+		caseStudy("parboil/histo-2")
 	default:
 		log.Fatalf("unknown case study %q", *caseN)
 	}
 	if *all && *caseN == "" {
 		for _, c := range []string{"parsec/dedup", "app/leveldb", "parboil/histo-1"} {
-			if _, _, err := experiments.CaseStudy(w, c, *threads, *seed); err != nil {
-				log.Fatal(err)
-			}
+			caseStudy(c)
 			fmt.Fprintln(w)
 		}
 	}

@@ -1,31 +1,41 @@
 // Command htmbench lists and natively runs HTMBench workloads,
 // printing exact ground-truth statistics (no profiler attached). With
-// -profiledir it instead profiles each workload and saves the profile
-// databases — the CI determinism job diffs those across runs, worker
-// counts, and quanta.
+// -profiledir it instead runs a journaled profile campaign: each
+// workload×seed shard is profiled and saved atomically to the
+// directory (name: workload with / -> _, _s<seed>.json) under an
+// append-only campaign.jsonl manifest, so a killed campaign resumes
+// with -resume, skipping shards whose artifacts verify — the CI
+// determinism and crash-recovery jobs diff those artifacts across
+// runs, worker counts, quanta, and kill points. SIGINT/SIGTERM stop
+// the current runs at a quantum boundary and exit 130.
 //
 //	htmbench -list
 //	htmbench -suite stamp
 //	htmbench stamp/vacation synchro/linkedlist
 //	htmbench -all
 //	htmbench -seed 5 -profiledir /tmp/profiles stamp/vacation
+//	htmbench -seed 5 -profiledir /tmp/profiles -resume stamp/vacation
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"txsampler"
+	"txsampler/internal/experiments"
 	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
-	"txsampler/internal/profile"
+	"txsampler/internal/machine"
 	"txsampler/internal/telemetry"
 	"txsampler/internal/tsxprof"
 )
@@ -41,7 +51,12 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for independent workloads (1 = sequential); output is identical for any value")
 		fplan    = flag.String("faults", "", "fault-injection plan: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or key=value pairs (see internal/faults)")
 		quantum  = flag.Int("quantum", 0, "scheduler run quantum in ops (0 = machine default; results are quantum-invariant)")
-		profdir  = flag.String("profiledir", "", "profile each workload and save its database to this directory (name: workload with / -> _, .json)")
+		profdir  = flag.String("profiledir", "", "run a journaled profile campaign: save each shard's database to this directory")
+		resume   = flag.Bool("resume", false, "with -profiledir: replay the campaign journal and skip shards whose artifacts verify")
+		seeds    = flag.Int("seeds", 1, "with -profiledir: fan each workload out over this many seeds starting at -seed")
+		retries  = flag.Int("retries", 2, "with -profiledir: re-attempts per failed shard (exponential backoff)")
+		shardTO  = flag.Duration("shard-timeout", 0, "with -profiledir: per-shard deadline (0 = none)")
+		crashAt  = flag.Int("crash-after-shards", 0, "with -profiledir: exit(137) after N shards complete (crash-recovery testing)")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	)
 	flag.Parse()
@@ -113,6 +128,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel cooperatively: in-flight machines stop at
+	// their next quantum boundary, journaled progress stays on disk.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *profdir != "" {
+		rep, err := experiments.ProfileCampaign(os.Stdout, experiments.CampaignConfig{
+			Dir: *profdir, Workloads: names,
+			Threads: *threads, Seed: *seed, Seeds: *seeds,
+			Plan: plan, Quantum: *quantum,
+			Resume: *resume, Retries: *retries, Timeout: *shardTO,
+			Parallel: *parallel, Context: ctx,
+			CrashAfterShards: *crashAt,
+		})
+		switch {
+		case err != nil && rep != nil && rep.Canceled:
+			fmt.Fprintln(os.Stderr, "htmbench: interrupted; resume with -profiledir "+*profdir+" -resume")
+			os.Exit(130)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "htmbench: %v\n", err)
+			os.Exit(1)
+		case rep.Failed > 0:
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Each workload run is fully independent and deterministic, so
 	// they shard across workers; lines are gathered and printed in
 	// input order, keeping output identical for any worker count.
@@ -133,34 +175,30 @@ func main() {
 				if i >= len(names) {
 					return
 				}
-				lines[i], errs[i] = runOne(names[i], *threads, *seed, plan, *quantum, *profdir)
+				lines[i], errs[i] = runOne(ctx, names[i], *threads, *seed, plan, *quantum)
 			}
 		}()
 	}
 	wg.Wait()
 	for i, line := range lines {
 		if errs[i] != nil {
-			log.Fatal(errs[i])
+			if errors.Is(errs[i], machine.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "htmbench: interrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintf(os.Stderr, "htmbench: %v\n", errs[i])
+			os.Exit(1)
 		}
 		fmt.Print(line)
 	}
 }
 
-func runOne(name string, threads int, seed int64, plan faults.Plan, quantum int, profdir string) (string, error) {
-	opt := txsampler.Options{Threads: threads, Seed: seed, Faults: plan, Quantum: quantum}
-	if profdir != "" {
-		opt.Profile = true
-		opt.Metrics = telemetry.NewRegistry()
-	}
-	res, err := txsampler.Run(name, opt)
+func runOne(ctx context.Context, name string, threads int, seed int64, plan faults.Plan, quantum int) (string, error) {
+	res, err := txsampler.Run(name, txsampler.Options{
+		Threads: threads, Seed: seed, Faults: plan, Quantum: quantum, Context: ctx,
+	})
 	if err != nil {
 		return "", err
-	}
-	if profdir != "" {
-		path := filepath.Join(profdir, strings.ReplaceAll(name, "/", "_")+".json")
-		if err := profile.FromReport(res.Report).Save(path); err != nil {
-			return "", err
-		}
 	}
 	g := res.GroundTruth
 	var aborts uint64

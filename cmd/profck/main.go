@@ -1,0 +1,51 @@
+// Command profck checks profile databases and campaign artifact
+// directories for damage: torn (truncated) writes, corrupt payloads,
+// version mismatches, partial (interrupted) profiles, and orphaned
+// temp files from atomic saves that never committed. With -repair it
+// quarantines bad databases (renaming them *.corrupt) and removes
+// orphaned temp files so a campaign resume re-runs exactly the
+// damaged shards.
+//
+//	profck profiles/
+//	profck -repair profiles/
+//	profck stamp_vacation_s5.json
+//
+// Exit status: 0 when everything is clean (partial profiles are
+// reported but not errors), 1 when problems were found (even if
+// repaired), 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"txsampler/internal/profile"
+)
+
+func main() {
+	repair := flag.Bool("repair", false, "quarantine corrupt databases (*.corrupt) and remove orphaned temp files")
+	quiet := flag.Bool("q", false, "print only the summary line")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: profck [-repair] [-q] <profile.json | directory>...")
+		os.Exit(2)
+	}
+	out := os.Stdout
+	if *quiet {
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err == nil {
+			defer devnull.Close()
+			out = devnull
+		}
+	}
+	res, err := profile.Fsck(out, flag.Args(), *repair)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Println(res.String())
+	if res.Problems() {
+		os.Exit(1)
+	}
+}

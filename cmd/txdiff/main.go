@@ -7,10 +7,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"txsampler"
 	"txsampler/internal/analyzer"
@@ -40,10 +44,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	load := func(arg string) *analyzer.Report {
 		if *run {
-			res, err := txsampler.Run(arg, txsampler.Options{Threads: *threads, Seed: *seed, Profile: true})
+			res, err := txsampler.Run(arg, txsampler.Options{Threads: *threads, Seed: *seed, Profile: true, Context: ctx})
 			if err != nil {
+				if errors.Is(err, txsampler.ErrCanceled) {
+					fmt.Fprintln(os.Stderr, "txdiff: interrupted")
+					os.Exit(130)
+				}
 				log.Fatal(err)
 			}
 			return res.Report

@@ -15,11 +15,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"txsampler"
 	"txsampler/internal/core"
@@ -98,9 +102,17 @@ func main() {
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
+	// SIGINT/SIGTERM stop the run cooperatively at the next quantum
+	// boundary; a profiled run still flushes a Partial database to -o.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *acc {
-		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum})
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Context: ctx})
 		if err != nil {
+			if errors.Is(err, txsampler.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "txsampler: interrupted")
+				os.Exit(130)
+			}
 			log.Fatal(err)
 		}
 		fmt.Printf("workload: %s (%d threads)\n", res.Workload, res.Threads)
@@ -119,9 +131,22 @@ func main() {
 	}
 	res, err := txsampler.Run(name, txsampler.Options{
 		Threads: *threads, Seed: *seed, Profile: !*native, Faults: plan,
-		Quantum: *quantum, Trace: tracer, Metrics: metrics,
+		Quantum: *quantum, Trace: tracer, Metrics: metrics, Context: ctx,
 	})
 	if err != nil {
+		if errors.Is(err, txsampler.ErrCanceled) {
+			if res != nil && res.Report != nil && *output != "" {
+				if serr := profile.FromReport(res.Report).Save(*output); serr != nil {
+					fmt.Fprintf(os.Stderr, "txsampler: interrupted; partial profile save failed: %v\n", serr)
+					os.Exit(1)
+				}
+				metrics.Counter("profile.partial_flushes").Add(1)
+				fmt.Fprintf(os.Stderr, "txsampler: interrupted; partial profile written to %s\n", *output)
+			} else {
+				fmt.Fprintln(os.Stderr, "txsampler: interrupted")
+			}
+			os.Exit(130)
+		}
 		log.Fatal(err)
 	}
 	if tracer != nil {

@@ -55,6 +55,12 @@ type Report struct {
 	// frontend merged them in, the machine's fault-injection stats.
 	Quality core.DataQuality
 
+	// Partial marks a report built from a cooperatively canceled run
+	// (SIGINT/SIGTERM or a shard deadline stopped the machine at a
+	// quantum boundary): consistent, but covering only a prefix of the
+	// workload. Serialized into the profile database's Partial stamp.
+	Partial bool
+
 	// Self is the profiler self-report: the telemetry snapshot of the
 	// run that produced this profile (machine, collector, and analyzer
 	// self-metrics). Nil when telemetry was disabled. Volatile

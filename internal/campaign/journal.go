@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Shard statuses as journaled.
+const (
+	StatusStarted = "started" // attempt began; if it is the last word, the process died mid-shard
+	StatusDone    = "done"    // artifact written and synced
+	StatusFailed  = "failed"  // attempt ended in an error (may be retried)
+)
+
+// Entry is one journal line. The journal is append-only: a shard's
+// current state is its last entry. No wall-clock timestamps — journals
+// from identical campaigns stay byte-identical.
+type Entry struct {
+	Key      string `json:"key"`
+	Status   string `json:"status"`
+	Artifact string `json:"artifact,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Journal is the append-only JSONL manifest of a campaign. Appends are
+// fsynced line-by-line, so the journal never claims more than the disk
+// holds; a crash can at worst tear the final line, which OpenJournal
+// truncates away on resume.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	state map[string]Entry
+}
+
+// OpenJournal opens (resume=true) or recreates (resume=false) the
+// journal at path. On resume, existing entries are replayed into the
+// in-memory state — last entry per key wins — and a torn final line
+// (crash mid-append) is discarded and truncated so later appends start
+// on a clean boundary.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	mode := os.O_RDWR | os.O_CREATE
+	if !resume {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, state: make(map[string]Entry)}
+	if resume {
+		if err := j.replay(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// replay loads the journal, tolerating exactly one torn trailing line.
+func (j *Journal) replay() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return err
+	}
+	valid := 0 // bytes up to the end of the last intact line
+	for len(data) > valid {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := data[valid : valid+nl]
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			break // torn or garbage tail: stop replay here
+		}
+		j.state[e.Key] = e
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		// Drop the torn tail so the next append starts a fresh line.
+		if err := j.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("campaign: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(int64(valid), io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// State returns the last journaled entry for key.
+func (j *Journal) State(key string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.state[key]
+	return e, ok
+}
+
+// Len returns the number of distinct journaled shards.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.state)
+}
+
+// Record appends one entry and fsyncs it. Append errors are returned
+// but the in-memory state is updated regardless, so a campaign on a
+// full disk still runs to completion and reports correctly.
+func (j *Journal) Record(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state[e.Key] = e
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/faults"
+	"txsampler/internal/profile"
+	"txsampler/internal/telemetry"
+)
+
+func TestProfileCampaignFreshResumeRepair(t *testing.T) {
+	dir := t.TempDir()
+	cfg := CampaignConfig{
+		Dir: dir, Workloads: []string{"micro/low-abort"},
+		Threads: 2, Seed: 3,
+		Metrics: telemetry.NewRegistry(),
+	}
+	var out strings.Builder
+	rep, err := ProfileCampaign(&out, cfg)
+	if err != nil || rep.Ran != 1 || rep.Failed != 0 {
+		t.Fatalf("fresh run: %+v err=%v\n%s", rep, err, out.String())
+	}
+	artifact := filepath.Join(dir, artifactName("micro/low-abort", 3))
+	if err := VerifyArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume skips the verified shard.
+	cfg.Resume = true
+	out.Reset()
+	rep, err = ProfileCampaign(&out, cfg)
+	if err != nil || rep.Skipped != 1 || rep.Ran != 0 {
+		t.Fatalf("resume: %+v err=%v", rep, err)
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// Damage the artifact: the journal still says done, but the resumed
+	// campaign re-verifies, notices, and re-runs the shard to the exact
+	// same bytes.
+	good, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(artifact, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	rep, err = ProfileCampaign(&out, cfg)
+	if err != nil || rep.Ran != 1 || rep.Rerun != 1 {
+		t.Fatalf("repair: %+v err=%v", rep, err)
+	}
+	repaired, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(repaired) != string(good) {
+		t.Fatal("re-run artifact differs from the original")
+	}
+}
+
+func TestProfileCampaignTornWriteFails(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	rep, err := ProfileCampaign(&out, CampaignConfig{
+		Dir: dir, Workloads: []string{"micro/low-abort"},
+		Threads: 2, Seed: 3,
+		Plan: faults.Plan{CrashWriteOffset: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 || !strings.Contains(out.String(), "FAILED") {
+		t.Fatalf("report %+v\n%s", rep, out.String())
+	}
+	// The torn write is detectable, never silently loadable.
+	artifact := filepath.Join(dir, artifactName("micro/low-abort", 3))
+	if err := VerifyArtifact(artifact); err == nil {
+		t.Fatal("torn artifact verified")
+	}
+
+	// Resume WITHOUT the storage fault: the shard key is unchanged
+	// (crash-write is not part of the config hash), so the failed shard
+	// re-runs and the artifact becomes whole.
+	out.Reset()
+	rep, err = ProfileCampaign(&out, CampaignConfig{
+		Dir: dir, Workloads: []string{"micro/low-abort"},
+		Threads: 2, Seed: 3, Resume: true,
+	})
+	if err != nil || rep.Ran != 1 || rep.Rerun != 1 {
+		t.Fatalf("recovery: %+v err=%v\n%s", rep, err, out.String())
+	}
+	if err := VerifyArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyArtifactRejectsPartial(t *testing.T) {
+	res, err := txsampler.Run("micro/low-abort", txsampler.Options{Threads: 2, Seed: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Report.Partial = true
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := profile.FromReport(res.Report).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyArtifact(path)
+	if err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("err = %v, want partial rejection", err)
+	}
+}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -32,6 +33,20 @@ import (
 // 1 restores fully sequential execution.
 var Parallel = runtime.GOMAXPROCS(0)
 
+// Context, when non-nil, cancels every in-flight and queued machine
+// run cooperatively (SIGINT/SIGTERM in cmd/experiments): in-flight
+// runs stop at their next quantum boundary and pending ones never
+// start. The sweep then returns an error wrapping machine.ErrCanceled.
+var Context context.Context
+
+// ctxOrBackground returns the package cancellation context.
+func ctxOrBackground() context.Context {
+	if Context != nil {
+		return Context
+	}
+	return context.Background()
+}
+
 // mapIndexed computes f(0..n-1) on min(Parallel, n) workers and
 // returns the results in input order. The first error by index wins.
 func mapIndexed[T any](n int, f func(i int) (T, error)) ([]T, error) {
@@ -40,8 +55,12 @@ func mapIndexed[T any](n int, f func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	ctx := ctxOrBackground()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("experiments: sweep canceled: %w", err)
+			}
 			v, err := f(i)
 			if err != nil {
 				return nil, err
@@ -61,6 +80,11 @@ func mapIndexed[T any](n int, f func(i int) (T, error)) ([]T, error) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Canceled: drain the queue without starting runs.
+					errs[i] = fmt.Errorf("experiments: sweep canceled: %w", err)
+					continue
 				}
 				out[i], errs[i] = f(i)
 			}
@@ -170,7 +194,7 @@ func overheadRow(name string, threads int, seed int64) (Fig5Row, error) {
 		ov        float64
 	}
 	results, err := mapIndexed(runs, func(i int) (run, error) {
-		native, profiled, ov, err := txsampler.Overhead(name, txsampler.Options{Threads: threads, Seed: seed + int64(i)})
+		native, profiled, ov, err := txsampler.Overhead(name, txsampler.Options{Threads: threads, Seed: seed + int64(i), Context: Context})
 		if err != nil {
 			return run{}, err
 		}
@@ -223,7 +247,7 @@ func Fig7(w io.Writer, threads int, seed int64) ([]ClompRow, error) {
 	cfgs := htmbench.ClompConfigs()
 	rows, err := mapIndexed(len(cfgs), func(i int) (ClompRow, error) {
 		name := htmbench.ClompName(cfgs[i])
-		res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true})
+		res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
 		if err != nil {
 			return ClompRow{}, err
 		}
@@ -296,7 +320,7 @@ func Fig8(w io.Writer, threads int, seed int64) ([]Fig8Row, error) {
 	}
 	rows, err := mapIndexed(len(wls), func(i int) (Fig8Row, error) {
 		wl := wls[i]
-		res, err := txsampler.Run(wl.Name, txsampler.Options{Threads: threads, Seed: seed, Profile: true})
+		res, err := txsampler.Run(wl.Name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
 		if err != nil {
 			return Fig8Row{}, err
 		}
@@ -365,7 +389,7 @@ func Table2(w io.Writer, threads int, seed int64) ([]Table2Row, error) {
 	fmt.Fprintf(w, "=== Table 2: optimization overview (%d threads) ===\n", threads)
 	rows := Table2Pairs()
 	speedups, err := mapIndexed(len(rows), func(i int) (float64, error) {
-		return txsampler.Speedup(rows[i].Base, rows[i].Opt, txsampler.Options{Threads: threads, Seed: seed})
+		return txsampler.Speedup(rows[i].Base, rows[i].Opt, txsampler.Options{Threads: threads, Seed: seed, Context: Context})
 	})
 	if err != nil {
 		return nil, err
@@ -385,7 +409,7 @@ func AccuracyComparison(w io.Writer, threads int, seed int64) error {
 	fmt.Fprintf(w, "=== Attribution accuracy: TxSampler vs conventional profiler (%d threads) ===\n", threads)
 	names := []string{"parsec/dedup", "micro/deep-calls", "synchro/linkedlist", "stamp/vacation"}
 	accs, err := mapIndexed(len(names), func(i int) (txsampler.Accuracy, error) {
-		_, acc, err := txsampler.RunWithAccuracy(names[i], txsampler.Options{Threads: threads, Seed: seed})
+		_, acc, err := txsampler.RunWithAccuracy(names[i], txsampler.Options{Threads: threads, Seed: seed, Context: Context})
 		return acc, err
 	})
 	if err != nil {
@@ -423,7 +447,7 @@ func TSXProfComparison(w io.Writer, threads int, seed int64) error {
 // CaseStudy profiles one workload and prints its report plus the
 // decision tree walk (the §8 investigations).
 func CaseStudy(w io.Writer, name string, threads int, seed int64) (*analyzer.Report, *decision.Advice, error) {
-	res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true})
+	res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -440,7 +464,7 @@ func MemOverhead(w io.Writer, threads int, seed int64) (maxPerThread int, err er
 	fmt.Fprintf(w, "=== Collector memory overhead (%d threads) ===\n", threads)
 	names := []string{"parsec/dedup", "stamp/vacation", "synchro/linkedlist", "app/leveldb"}
 	pers, err := mapIndexed(len(names), func(i int) (int, error) {
-		res, err := txsampler.Run(names[i], txsampler.Options{Threads: threads, Seed: seed, Profile: true})
+		res, err := txsampler.Run(names[i], txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
 		if err != nil {
 			return 0, err
 		}
@@ -464,7 +488,7 @@ func MemOverhead(w io.Writer, threads int, seed int64) (maxPerThread int, err er
 // thread per second, rescaled here to samples per run) by reporting
 // samples taken per thread for one workload at the default periods.
 func SamplingRate(w io.Writer, threads int, seed int64) error {
-	res, err := txsampler.Run("stamp/vacation", txsampler.Options{Threads: threads, Seed: seed, Profile: true})
+	res, err := txsampler.Run("stamp/vacation", txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
 	if err != nil {
 		return err
 	}

@@ -65,6 +65,15 @@ type Plan struct {
 	ClockSkewRate   float64
 	ClockSkewCycles uint64
 
+	// CrashWriteOffset, when non-zero, arms the crash-at-write-offset
+	// mode: the first profile database persisted after the run is torn
+	// after this many bytes and the frontend simulates a process kill
+	// (immediate exit, no cleanup), leaving genuinely torn files for
+	// the recovery paths to detect. It is a storage fault: it does not
+	// perturb the run itself and is excluded from Enabled and from
+	// campaign config hashes.
+	CrashWriteOffset uint64
+
 	// Storms inject bursty correlated faults: every StormPeriod
 	// operations a storm runs for StormLength operations during which
 	// every rate above is multiplied by StormFactor (default 10,
@@ -80,6 +89,15 @@ func (p Plan) Enabled() bool {
 	return p.SpuriousAbortRate > 0 || p.SampleDropRate > 0 || p.CoalesceWindow > 0 ||
 		p.LBRTruncateRate > 0 || p.LBRStaleRate > 0 || p.LBRClearAbortRate > 0 ||
 		p.StallRate > 0 || p.ClockSkewRate > 0
+}
+
+// MachineOnly returns the plan with storage-side faults stripped:
+// only the regimes that perturb the run itself remain. Campaign config
+// hashes use it, so arming crash-at-write-offset does not change a
+// shard's identity (the run it tears is bit-identical to a clean one).
+func (p Plan) MachineOnly() Plan {
+	p.CrashWriteOffset = 0
+	return p
 }
 
 // Validate checks that every rate is a probability and the storm
@@ -150,6 +168,7 @@ func (p Plan) String() string {
 	addU("stall-cycles", p.StallCycles)
 	add("skew", p.ClockSkewRate)
 	addU("skew-cycles", p.ClockSkewCycles)
+	addU("crash-write", p.CrashWriteOffset)
 	addU("storm-period", p.StormPeriod)
 	addU("storm-len", p.StormLength)
 	add("storm-factor", p.StormFactor)
@@ -231,6 +250,9 @@ func ParsePlan(s string) (Plan, error) {
 			p.ClockSkewRate = fv
 		case "skew-cycles":
 			p.ClockSkewCycles = uv
+			ferr = uerr
+		case "crash-write":
+			p.CrashWriteOffset = uv
 			ferr = uerr
 		case "storm-period":
 			p.StormPeriod = uv

@@ -1,0 +1,49 @@
+package faults
+
+// Crash-at-write-offset mode: the storage-side fault regime. Unlike
+// the machine faults, which perturb a run while it executes, this one
+// models the process dying partway through persisting its results — a
+// kill -9 or power loss mid-write — so durability code is tested
+// against genuinely torn files rather than synthetic ones.
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCrashWrite is the terminal error a crash writer returns once its
+// offset is reached. Frontends treat it as a simulated process death:
+// they stop immediately without cleanup, leaving the torn file behind.
+var ErrCrashWrite = errors.New("faults: injected crash at write offset")
+
+// crashWriter passes bytes through to the underlying writer until
+// offset bytes have been written, then fails every write with
+// ErrCrashWrite. The bytes before the offset ARE written (the torn
+// prefix survives on disk); everything after is lost.
+type crashWriter struct {
+	w         io.Writer
+	remaining uint64
+}
+
+// CrashWriter wraps w so that writes tear permanently after offset
+// bytes, modelling a crash mid-write.
+func CrashWriter(w io.Writer, offset uint64) io.Writer {
+	return &crashWriter{w: w, remaining: offset}
+}
+
+func (c *crashWriter) Write(p []byte) (int, error) {
+	if c.remaining == 0 {
+		return 0, ErrCrashWrite
+	}
+	if uint64(len(p)) <= c.remaining {
+		n, err := c.w.Write(p)
+		c.remaining -= uint64(n)
+		return n, err
+	}
+	n, err := c.w.Write(p[:c.remaining])
+	c.remaining -= uint64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, ErrCrashWrite
+}

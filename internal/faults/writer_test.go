@@ -1,0 +1,48 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCrashWriterTearsAtOffset(t *testing.T) {
+	var sink bytes.Buffer
+	w := CrashWriter(&sink, 10)
+	// First write fits under the offset entirely.
+	if n, err := w.Write([]byte("abcde")); n != 5 || err != nil {
+		t.Fatalf("write 1: n=%d err=%v", n, err)
+	}
+	// Second write crosses the offset: the prefix lands, then ErrCrashWrite.
+	if n, err := w.Write([]byte("fghijKLM")); n != 5 || !errors.Is(err, ErrCrashWrite) {
+		t.Fatalf("write 2: n=%d err=%v", n, err)
+	}
+	// Every later write fails without touching the sink.
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrCrashWrite) {
+		t.Fatalf("write 3: n=%d err=%v", n, err)
+	}
+	if got := sink.String(); got != "abcdefghij" {
+		t.Fatalf("torn prefix = %q", got)
+	}
+}
+
+func TestCrashWritePlanParsing(t *testing.T) {
+	p, err := ParsePlan("crash-write=512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CrashWriteOffset != 512 {
+		t.Fatalf("offset = %d", p.CrashWriteOffset)
+	}
+	// Storage-only faults do not enable machine injection and are
+	// stripped from the machine-affecting view used by config hashes.
+	if p.Enabled() {
+		t.Fatal("crash-write alone must not enable machine fault injection")
+	}
+	if p.MachineOnly() != (Plan{}) {
+		t.Fatalf("MachineOnly = %+v", p.MachineOnly())
+	}
+	if got := p.String(); got != "crash-write=512" {
+		t.Fatalf("String = %q", got)
+	}
+}

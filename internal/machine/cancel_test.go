@@ -1,0 +1,105 @@
+package machine
+
+// Cooperative cancellation: Config.Context stops the run at the next
+// quantum boundary, Run reports an error wrapping both ErrCanceled and
+// the context's cause, and the machine state stays readable so callers
+// can flush a partial profile.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"txsampler/internal/mem"
+)
+
+func cancelWorkload(t *Thread, a mem.Addr, iters int, after func(i int)) {
+	for i := 0; i < iters; i++ {
+		t.Func("worker", func() {
+			for {
+				if t.Attempt(func() {
+					t.Add(a.Offset(i%8), 1)
+					t.Compute(5)
+				}) == nil {
+					break
+				}
+				t.Compute(20)
+			}
+		})
+		if after != nil {
+			after(i)
+		}
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(Config{Threads: 2, Seed: 1, StartSkew: 64, Context: ctx})
+	a := m.Mem.AllocWords(8)
+	err := m.RunAll(func(th *Thread) { cancelWorkload(th, a, 100, nil) })
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled cause", err)
+	}
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := New(Config{Threads: 4, Seed: 7, StartSkew: 512, Quantum: 8, Context: ctx})
+	a := m.Mem.AllocWords(8)
+	err := m.RunAll(func(th *Thread) {
+		cancelWorkload(th, a, 10_000, func(i int) {
+			if th.ID == 0 && i == 5 {
+				cancel() // pull the plug from inside the workload
+			}
+		})
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The machine stopped at a boundary, not mid-operation: its clocks
+	// and ground truth stay consistent and readable.
+	if m.Elapsed() == 0 || m.TotalCycles() == 0 {
+		t.Fatalf("machine state unreadable after cancel: elapsed=%d total=%d", m.Elapsed(), m.TotalCycles())
+	}
+	g := m.GroundTruth()
+	if len(g.PerThreadCommits) != 4 {
+		t.Fatalf("ground truth truncated: %+v", g)
+	}
+}
+
+func TestRunDeadlineCancels(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	m := New(Config{Threads: 2, Seed: 3, StartSkew: 64, Context: ctx})
+	a := m.Mem.AllocWords(8)
+	err := m.RunAll(func(th *Thread) { cancelWorkload(th, a, 10_000_000, nil) })
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestRunCompletionWinsOverLateCancel(t *testing.T) {
+	// A context that is never canceled must not perturb the run: the
+	// result is bit-identical to a context-free run.
+	ctx, cancel := context.WithCancel(context.Background())
+	run := func(c context.Context) (uint64, uint64) {
+		m := New(Config{Threads: 4, Seed: 42, StartSkew: 512, Context: c})
+		a := m.Mem.AllocWords(8)
+		if err := m.RunAll(func(th *Thread) { cancelWorkload(th, a, 200, nil) }); err != nil {
+			t.Fatal(err)
+		}
+		return m.Elapsed(), m.TotalCycles()
+	}
+	e1, t1 := run(nil)
+	e2, t2 := run(ctx)
+	cancel() // after completion: no effect, no panic, watcher exits
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("context plumbing perturbed the run: (%d,%d) vs (%d,%d)", e1, t1, e2, t2)
+	}
+}

@@ -17,6 +17,7 @@
 package machine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -114,6 +115,16 @@ type Config struct {
 	// content is deterministic for a seed and invariant to Quantum.
 	// Nil disables tracing; instrumented paths then pay one branch.
 	Trace *telemetry.Tracer
+
+	// Context, when non-nil, cancels the run cooperatively:
+	// SIGINT/SIGTERM (via signal.NotifyContext) or a per-shard
+	// deadline stops the machine at the next scheduler rendezvous — a
+	// quantum boundary, so no thread is mid-operation and every
+	// collector structure is consistent — and Run returns an error
+	// wrapping ErrCanceled and the context's cause. Machine state
+	// (Elapsed, GroundTruth, an attached collector) remains readable,
+	// which is what lets frontends flush a Partial profile.
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +221,11 @@ type scheduler struct {
 	reported bool // a terminal result was sent on done
 	done     chan error
 	progress atomic.Uint64 // rendezvous counter for the watchdog
+
+	// cancelErr is set (under mu, by the context watcher) when the
+	// run's context is done; the next thread to rendezvous reports it
+	// and stops the machine at that quantum boundary.
+	cancelErr error
 }
 
 // reportLocked delivers the terminal result (first one wins) and stops
@@ -366,6 +382,21 @@ func (m *Machine) setHorizonLocked(t *Thread) {
 	}
 }
 
+// ErrCanceled marks a run stopped cooperatively via Config.Context.
+// The terminal error wraps both ErrCanceled and the context's cause
+// (context.Canceled or context.DeadlineExceeded), so callers can
+// errors.Is either.
+var ErrCanceled = errors.New("machine: run canceled")
+
+// checkCancelLocked reports the pending cancellation, if any, stopping
+// the machine. Called with the scheduler mutex held, from a rendezvous
+// — i.e. at a quantum boundary, when no thread is mid-operation.
+func (s *scheduler) checkCancelLocked() {
+	if s.cancelErr != nil && !s.stopped {
+		s.reportLocked(fmt.Errorf("%w at a quantum boundary: %w", ErrCanceled, s.cancelErr))
+	}
+}
+
 func panicErr(id int, v any) error {
 	if err, ok := v.(error); ok {
 		return fmt.Errorf("machine: thread %d panicked: %w", id, err)
@@ -392,6 +423,20 @@ func (m *Machine) schedule() error {
 	defer close(stop)
 	if timeout > 0 {
 		go watchdogLoop(timeout, &s.progress, fired, stop)
+	}
+	if ctx := m.cfg.Context; ctx != nil {
+		// The watcher only posts the cancellation; a thread delivers it
+		// at its next rendezvous, so the stop lands on a quantum
+		// boundary with every thread between operations.
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.cancelErr = context.Cause(ctx)
+				s.mu.Unlock()
+			case <-stop:
+			}
+		}()
 	}
 
 	s.mu.Lock()

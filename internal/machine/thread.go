@@ -171,7 +171,11 @@ func (t *Thread) finish(panicked any) {
 		return
 	}
 	if next == nil {
-		s.reportLocked(nil) // all threads completed
+		s.reportLocked(nil) // all threads completed: completion wins over a racing cancel
+		return
+	}
+	s.checkCancelLocked()
+	if s.stopped {
 		return
 	}
 	t.m.grantLocked(next)
@@ -187,6 +191,7 @@ func (t *Thread) rendezvous() {
 	st.ops = t.opCount
 	s.status[t.ID] = st
 	s.progress.Add(1)
+	s.checkCancelLocked()
 	if s.stopped {
 		t.parkLocked()
 	}

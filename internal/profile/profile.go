@@ -7,11 +7,6 @@
 package profile
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"os"
-
 	"txsampler/internal/analyzer"
 	"txsampler/internal/cct"
 	"txsampler/internal/core"
@@ -20,8 +15,10 @@ import (
 	"txsampler/internal/telemetry"
 )
 
-// FormatVersion identifies the database layout.
-const FormatVersion = 1
+// FormatVersion identifies the database layout. Version 2 frames the
+// JSON payload with a checksummed header (see storage.go) and adds the
+// Partial stamp; version 1 was bare JSON with no integrity protection.
+const FormatVersion = 2
 
 // Node is one serialized calling context.
 type Node struct {
@@ -49,6 +46,14 @@ type Database struct {
 	PerThread []Thread         `json:"per_thread"`
 	Root      *Node            `json:"cct"`
 
+	// Partial marks a profile flushed by cooperative cancellation
+	// (SIGINT/SIGTERM or a per-shard deadline) rather than a completed
+	// run: the data is internally consistent up to the quantum boundary
+	// the machine stopped at, but covers only a prefix of the workload.
+	// Resumable campaigns replace partial artifacts by re-running the
+	// shard from scratch.
+	Partial bool `json:"partial,omitempty"`
+
 	// Telemetry is the profiler self-report captured when the profile
 	// was produced (machine, collector, analyzer self-metrics).
 	// Volatile wall-clock entries are stripped before serialization so
@@ -64,6 +69,7 @@ func FromReport(r *analyzer.Report) *Database {
 		Threads: r.Threads,
 		Totals:  r.Totals,
 		Quality: r.Quality,
+		Partial: r.Partial,
 	}
 	for i, p := range r.Periods {
 		if i < len(db.Periods) {
@@ -99,6 +105,7 @@ func (db *Database) Report() *analyzer.Report {
 		Threads: db.Threads,
 		Totals:  db.Totals,
 		Quality: db.Quality,
+		Partial: db.Partial,
 		Merged:  cct.NewTree[core.Metrics](),
 	}
 	var periods pmu.Periods
@@ -125,46 +132,4 @@ func attach(parent *core.Node, children []*Node) {
 		n.Data = c.Metrics
 		attach(n, c.Children)
 	}
-}
-
-// Write serializes the database as indented JSON.
-func (db *Database) Write(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(db)
-}
-
-// Read parses a database and validates the version.
-func Read(r io.Reader) (*Database, error) {
-	var db Database
-	if err := json.NewDecoder(r).Decode(&db); err != nil {
-		return nil, fmt.Errorf("profile: %w", err)
-	}
-	if db.Version != FormatVersion {
-		return nil, fmt.Errorf("profile: unsupported version %d (want %d)", db.Version, FormatVersion)
-	}
-	return &db, nil
-}
-
-// Save writes the database to path.
-func (db *Database) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := db.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
-}
-
-// Load reads a database from path.
-func Load(path string) (*Database, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Read(f)
 }

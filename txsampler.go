@@ -21,6 +21,8 @@
 package txsampler
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -92,7 +94,17 @@ type Options struct {
 	// (machine, collector, analyzer); the snapshot is attached to
 	// Report.Self and rendered as the "Profiler self-report".
 	Metrics *telemetry.Registry
+	// Context, when non-nil, cancels the run cooperatively at a
+	// scheduler quantum boundary (see machine.Config.Context). A
+	// canceled profiled run returns BOTH a non-nil *Result — whose
+	// Report is marked Partial and safe to persist — and an error
+	// wrapping ErrCanceled.
+	Context context.Context
 }
+
+// ErrCanceled reports a run stopped cooperatively by Options.Context
+// (SIGINT/SIGTERM or a deadline); alias of machine.ErrCanceled.
+var ErrCanceled = machine.ErrCanceled
 
 // Result is the outcome of one run.
 type Result struct {
@@ -148,6 +160,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		Faults:      o.Faults,
 		Quantum:     o.Quantum,
 		Trace:       o.Trace,
+		Context:     o.Context,
 	}
 	if o.Profile {
 		cfg.Periods = o.Periods
@@ -169,12 +182,15 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 	err := m.Run(inst.Bodies...)
 	runWall := time.Since(runStart)
 	o.Trace.EndPhase("run")
-	if err != nil {
+	canceled := err != nil && errors.Is(err, machine.ErrCanceled)
+	if err != nil && !canceled {
 		return nil, fmt.Errorf("%s: %w", w.Name, err)
 	}
-	if inst.Check != nil && !o.SkipCheck {
-		if err := inst.Check(m); err != nil {
-			return nil, fmt.Errorf("%s: result check failed: %w", w.Name, err)
+	// A canceled run skips result validation: the workload stopped at an
+	// arbitrary quantum boundary, so its invariants need not hold yet.
+	if err == nil && inst.Check != nil && !o.SkipCheck {
+		if cerr := inst.Check(m); cerr != nil {
+			return nil, fmt.Errorf("%s: result check failed: %w", w.Name, cerr)
 		}
 	}
 	res := &Result{
@@ -187,6 +203,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 	if col != nil {
 		res.Report = analyzer.AnalyzeInstrumented(w.Name, col, o.Trace, o.Metrics)
 		res.Report.Quality.Injected = m.FaultStats()
+		res.Report.Partial = canceled
 		res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 		res.CollectorBytes = col.MemoryFootprint()
 	}
@@ -199,6 +216,11 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		if res.Report != nil {
 			res.Report.Self = o.Metrics.Snapshot(true)
 		}
+	}
+	if canceled {
+		// The partial Result is still returned so callers can flush a
+		// Partial-stamped profile before exiting.
+		return res, fmt.Errorf("%s: %w", w.Name, err)
 	}
 	return res, nil
 }
@@ -228,7 +250,7 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 		Threads: threads, Cache: cacheCfg, LBRDepth: o.LBRDepth,
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
 		Periods: o.Periods, Faults: o.Faults, Quantum: o.Quantum,
-		Trace: o.Trace,
+		Trace: o.Trace, Context: o.Context,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
