@@ -11,7 +11,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,48 +23,65 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("txdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		threads = flag.Int("threads", 0, "thread count for -run (0 = workload default)")
-		seed    = flag.Int64("seed", 1, "workload seed for -run")
-		run     = flag.Bool("run", false, "arguments are workload names to profile, not saved databases")
-		top     = flag.Int("top", 8, "number of moving contexts to show")
-		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
+		threads = fs.Int("threads", 0, "thread count for -run (0 = workload default)")
+		seed    = fs.Int64("seed", 1, "workload seed for -run")
+		rerun   = fs.Bool("run", false, "arguments are workload names to profile, not saved databases")
+		top     = fs.Int("top", 8, "number of moving contexts to show")
+		dbgAddr = fs.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *dbgAddr != "" {
 		srv, err := telemetry.ServeDebug(*dbgAddr, nil)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "txdiff:", err)
+			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/\n", srv.Addr)
+		fmt.Fprintf(stderr, "debug endpoints on http://%s/\n", srv.Addr)
 	}
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: txdiff [-run] [-threads N] [-seed S] <before> <after>")
-		os.Exit(2)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: txdiff [-run] [-threads N] [-seed S] <before> <after>")
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	load := func(arg string) *analyzer.Report {
-		if *run {
+	load := func(arg string) (*analyzer.Report, error) {
+		if *rerun {
 			res, err := txsampler.Run(arg, txsampler.Options{Threads: *threads, Seed: *seed, Profile: true, Context: ctx})
 			if err != nil {
-				if errors.Is(err, txsampler.ErrCanceled) {
-					fmt.Fprintln(os.Stderr, "txdiff: interrupted")
-					os.Exit(130)
-				}
-				log.Fatal(err)
+				return nil, err
 			}
-			return res.Report
+			return res.Report, nil
 		}
 		db, err := profile.Load(arg)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		return db.Report()
+		return db.Report(), nil
 	}
-	before := load(flag.Arg(0))
-	after := load(flag.Arg(1))
-	analyzer.RenderDiff(os.Stdout, before, after, *top)
+	var reports [2]*analyzer.Report
+	for i, arg := range []string{fs.Arg(0), fs.Arg(1)} {
+		r, err := load(arg)
+		if err != nil {
+			if errors.Is(err, txsampler.ErrCanceled) {
+				fmt.Fprintln(stderr, "txdiff: interrupted")
+				return 130
+			}
+			fmt.Fprintln(stderr, "txdiff:", err)
+			return 1
+		}
+		reports[i] = r
+	}
+	analyzer.RenderDiff(stdout, reports[0], reports[1], *top)
+	return 0
 }

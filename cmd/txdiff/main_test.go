@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/profile"
+)
+
+func saveProfile(t *testing.T, name string, seed int64) string {
+	t.Helper()
+	res, err := txsampler.Run(name, txsampler.Options{Threads: 2, Seed: seed, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := profile.FromReport(res.Report).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunDiffsSavedDatabases: the main path — load two databases,
+// render the delta.
+func TestRunDiffsSavedDatabases(t *testing.T) {
+	before := saveProfile(t, "micro/low-abort", 1)
+	after := saveProfile(t, "micro/true-sharing", 1)
+	var out, errb bytes.Buffer
+	if code := run([]string{before, after}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "micro/low-abort") || !strings.Contains(out.String(), "micro/true-sharing") {
+		t.Fatalf("diff header incomplete:\n%s", out.String())
+	}
+}
+
+// TestRunRerunsWorkloads: -run profiles the named workloads instead of
+// loading files.
+func TestRunRerunsWorkloads(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "-threads", "2", "micro/low-abort", "micro/low-abort"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "micro/low-abort") {
+		t.Fatalf("diff output incomplete:\n%s", out.String())
+	}
+}
+
+// TestRunErrors: bad usage exits 2; unreadable databases and unknown
+// workloads exit 1.
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one-arg"}, &out, &errb); code != 2 {
+		t.Fatalf("one arg exit %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown flag exit %d, want 2", code)
+	}
+	if code := run([]string{"no-such.json", "nope.json"}, &out, &errb); code != 1 {
+		t.Fatalf("missing database exit %d, want 1", code)
+	}
+	if code := run([]string{"-run", "bogus/none", "bogus/none"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown workload exit %d, want 1", code)
+	}
+}

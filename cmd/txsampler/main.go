@@ -115,13 +115,23 @@ func main() {
 			}
 			log.Fatal(err)
 		}
-		fmt.Printf("workload: %s (%d threads)\n", res.Workload, res.Threads)
+		fmt.Printf("workload: %s (%d threads, seed %d)\n", res.Workload, res.Threads, *seed)
 		fmt.Printf("samples: %d total, %d inside transactions\n", a.Total, a.InTx)
 		if a.InTx > 0 {
-			fmt.Printf("in-tx path detected via LBR abort bit: %.1f%%\n", 100*float64(a.PathDetected)/float64(a.InTx))
-			fmt.Printf("full context recovered: txsampler %.1f%%, stack-only profiler %.1f%%\n",
-				100*float64(a.TxSamplerCorrect)/float64(a.InTx),
-				100*float64(a.NaiveCorrect)/float64(a.InTx))
+			// Exact counts first: percentages round, and a sub-0.1%
+			// attribution regression must still flip the byte-diff in
+			// the CI determinism job.
+			fmt.Printf("in-tx path detected via LBR abort bit: %d/%d (%.1f%%)\n",
+				a.PathDetected, a.InTx, 100*float64(a.PathDetected)/float64(a.InTx))
+			fmt.Printf("full context recovered: txsampler %d/%d (%.1f%%), stack-only profiler %d/%d (%.1f%%)\n",
+				a.TxSamplerCorrect, a.InTx, 100*float64(a.TxSamplerCorrect)/float64(a.InTx),
+				a.NaiveCorrect, a.InTx, 100*float64(a.NaiveCorrect)/float64(a.InTx))
+		}
+		if *output != "" && res.Report != nil {
+			if err := profile.FromReport(res.Report).Save(*output); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile database written to %s\n", *output)
 		}
 		return
 	}

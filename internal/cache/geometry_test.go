@@ -1,0 +1,14 @@
+package cache
+
+import "testing"
+
+func TestGeometryAccessors(t *testing.T) {
+	cfg := Config{Sets: 8, Ways: 4}
+	if n := cfg.LinesPerL1(); n != 32 {
+		t.Fatalf("LinesPerL1 = %d, want 32", n)
+	}
+	h := New(2, cfg)
+	if got := h.Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+}

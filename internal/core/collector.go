@@ -18,6 +18,8 @@
 package core
 
 import (
+	"fmt"
+
 	"txsampler/internal/cct"
 	"txsampler/internal/faults"
 	"txsampler/internal/htm"
@@ -238,6 +240,28 @@ func Attach(m *machine.Machine) *Collector {
 
 // Profiles returns the per-thread profiles.
 func (c *Collector) Profiles() []*Profile { return c.profiles }
+
+// Reordered returns a read-only view of the collector whose per-thread
+// profiles appear in the order perm[0], perm[1], ... — the validation
+// harness analyzes it to check that cross-thread profile coalescing is
+// order-independent (a thread-permutation metamorphic invariant). perm
+// must be a permutation of [0, threads); the view shares the
+// underlying profile trees, so it must not receive further samples.
+func (c *Collector) Reordered(perm []int) *Collector {
+	if len(perm) != len(c.profiles) {
+		panic(fmt.Sprintf("core: Reordered with %d indices for %d profiles", len(perm), len(c.profiles)))
+	}
+	seen := make([]bool, len(perm))
+	nc := &Collector{periods: c.periods, quality: c.quality, Shadow: c.Shadow}
+	for _, i := range perm {
+		if i < 0 || i >= len(c.profiles) || seen[i] {
+			panic(fmt.Sprintf("core: Reordered permutation %v is not a permutation", perm))
+		}
+		seen[i] = true
+		nc.profiles = append(nc.profiles, c.profiles[i])
+	}
+	return nc
+}
 
 // Periods returns the sampling periods the collector assumes.
 func (c *Collector) Periods() pmu.Periods { return c.periods }

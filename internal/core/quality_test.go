@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"txsampler/internal/faults"
+)
+
+// TestDataQualityMerge: merging accumulates every counter, including
+// the nested fault-injection stats.
+func TestDataQualityMerge(t *testing.T) {
+	a := DataQuality{MalformedSamples: 1, UnresolvedInTx: 2, InconsistentState: 3, TruncatedPaths: 4,
+		Injected: faults.Stats{SpuriousAborts: 5}}
+	b := DataQuality{MalformedSamples: 10, UnresolvedInTx: 20, InconsistentState: 30, TruncatedPaths: 40,
+		Injected: faults.Stats{SpuriousAborts: 50}}
+	a.Merge(b)
+	if a.MalformedSamples != 11 || a.UnresolvedInTx != 22 || a.InconsistentState != 33 || a.TruncatedPaths != 44 {
+		t.Fatalf("merged = %+v", a)
+	}
+	if a.Injected.SpuriousAborts != 55 {
+		t.Fatalf("injected stats not merged: %+v", a.Injected)
+	}
+	// Degraded excludes the (fault-free-possible) truncations.
+	if got := a.Degraded(); got != 11+22+33+55 {
+		t.Fatalf("Degraded() = %d, want %d", got, 11+22+33+55)
+	}
+}

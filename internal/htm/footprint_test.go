@@ -1,0 +1,20 @@
+package htm
+
+import "testing"
+
+// TestFootprintAccessors: the read/write set sizes count distinct
+// lines, not accesses — two words on one line are one entry.
+func TestFootprintAccessors(t *testing.T) {
+	e := eng()
+	tx := e.Begin(0, 0)
+	e.Read(tx, 0x1000)
+	e.Read(tx, 0x1008) // same line
+	e.Read(tx, 0x1040) // next line
+	e.Write(tx, 0x2000, 1)
+	if r := tx.ReadSetLines(); r != 2 {
+		t.Fatalf("ReadSetLines = %d, want 2", r)
+	}
+	if w := tx.WriteSetLines(); w != 1 {
+		t.Fatalf("WriteSetLines = %d, want 1", w)
+	}
+}

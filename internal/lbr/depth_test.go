@@ -1,0 +1,15 @@
+package lbr
+
+import "testing"
+
+func TestBufferDepth(t *testing.T) {
+	if d := New(16).Depth(); d != 16 {
+		t.Fatalf("Depth() = %d, want 16", d)
+	}
+	// Depth is capacity, not occupancy.
+	b := New(4)
+	b.Record(Entry{Kind: KindCall})
+	if b.Depth() != 4 {
+		t.Fatalf("Depth() changed with occupancy: %d", b.Depth())
+	}
+}

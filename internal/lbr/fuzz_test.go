@@ -1,0 +1,93 @@
+package lbr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzHashConsing hardens the profile hash-consing primitives: equal
+// branch sequences must hash equal (the consing contract — unequal
+// hashes would split identical contexts), hashing must be insensitive
+// to buffer wraparound history, and the circular buffer's snapshot
+// must always present the most recent entries first.
+func FuzzHashConsing(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{0x08, 1, 0x08, 2, 0x09, 1}, uint8(2))
+	f.Add([]byte{0x00, 0, 0x07, 0xff}, uint8(16))
+	f.Add([]byte{0x0c, 3, 0x0c, 3, 0x0c, 3, 0x0c, 3, 0x0c, 3}, uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, depth uint8) {
+		d := int(depth%32) + 1
+		var entries []Entry
+		for i := 0; i+1 < len(data); i += 2 {
+			k := data[i]
+			entries = append(entries, Entry{
+				Kind:  Kind(k % 4),
+				From:  IP{Fn: fmt.Sprintf("fn%d", data[i+1]%8)},
+				To:    IP{Fn: fmt.Sprintf("fn%d", data[i+1]%8), Site: fmt.Sprintf("s%d", k%3)},
+				Abort: k&4 != 0,
+				InTSX: k&8 != 0,
+			})
+		}
+
+		// Consing contract: the same sequence hashes identically, and
+		// the hash chain composes (hashing entry-by-entry equals
+		// hashing the slice).
+		h1 := HashEntries(HashSeed, entries)
+		h2 := HashEntries(HashSeed, entries)
+		if h1 != h2 {
+			t.Fatal("HashEntries is not deterministic")
+		}
+		ips := make([]IP, len(entries))
+		for i, e := range entries {
+			ips[i] = e.To
+		}
+		if HashIPs(HashSeed, ips) != HashIPs(HashSeed, ips) {
+			t.Fatal("HashIPs is not deterministic")
+		}
+
+		// Buffer semantics: after recording N entries into a depth-d
+		// ring, the snapshot holds min(N, d) entries, most recent
+		// first, regardless of how many wraps occurred.
+		b := New(d)
+		for _, e := range entries {
+			b.Record(e)
+		}
+		snap := b.Snapshot()
+		want := len(entries)
+		if want > d {
+			want = d
+		}
+		if len(snap) != want {
+			t.Fatalf("snapshot has %d entries, want %d (depth %d, recorded %d)",
+				len(snap), want, d, len(entries))
+		}
+		for i := range snap {
+			if snap[i] != entries[len(entries)-1-i] {
+				t.Fatalf("snapshot[%d] = %+v, want most-recent-first order", i, snap[i])
+			}
+		}
+		// Wraparound insensitivity: a fresh buffer fed only the last
+		// min(N,d) entries yields a snapshot with the same hash.
+		b2 := New(d)
+		for _, e := range entries[len(entries)-want:] {
+			b2.Record(e)
+		}
+		if HashEntries(HashSeed, snap) != HashEntries(HashSeed, b2.Snapshot()) {
+			t.Fatal("snapshot hash depends on overwritten history")
+		}
+
+		// A frozen buffer must drop records and unfreeze must restore
+		// them.
+		b.Freeze()
+		b.Record(Entry{Kind: KindCall, To: IP{Fn: "frozen"}})
+		if got := b.Snapshot(); len(got) > 0 && got[0].To.Fn == "frozen" {
+			t.Fatal("frozen buffer accepted a record")
+		}
+		b.Unfreeze()
+		b.Record(Entry{Kind: KindCall, To: IP{Fn: "thawed"}})
+		if got := b.Snapshot(); len(got) == 0 || got[0].To.Fn != "thawed" {
+			t.Fatal("unfrozen buffer rejected a record")
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package machine
+
+import (
+	"testing"
+
+	"txsampler/internal/htm"
+)
+
+// TestThreadAbortAccessors: LastAbort mirrors the info Attempt
+// returns, and the per-cause ground-truth counters track each abort
+// exactly.
+func TestThreadAbortAccessors(t *testing.T) {
+	m := single()
+	var last AbortInfo
+	var explicit, conflict uint64
+	err := m.RunAll(func(t *Thread) {
+		for i := 0; i < 3; i++ {
+			if t.Attempt(func() { t.TxAbort() }) != nil {
+				last = t.LastAbort()
+			}
+		}
+		explicit, conflict = t.Aborts(htm.Explicit), t.Aborts(htm.Conflict)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Cause != htm.Explicit {
+		t.Fatalf("LastAbort = %+v, want explicit cause", last)
+	}
+	if explicit != 3 || conflict != 0 {
+		t.Fatalf("Aborts: explicit=%d conflict=%d, want 3/0", explicit, conflict)
+	}
+}

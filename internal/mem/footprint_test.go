@@ -1,0 +1,24 @@
+package mem
+
+import "testing"
+
+func TestFootprintCountsBackedPages(t *testing.T) {
+	m := NewMemory()
+	if m.Footprint() != 0 {
+		t.Fatalf("fresh memory footprint = %d", m.Footprint())
+	}
+	m.Store(0x1000, 1)
+	one := m.Footprint()
+	if one <= 0 {
+		t.Fatalf("footprint after store = %d", one)
+	}
+	// A store on the same page costs nothing; a distant page doubles it.
+	m.Store(0x1008, 2)
+	if m.Footprint() != one {
+		t.Fatalf("same-page store grew footprint: %d -> %d", one, m.Footprint())
+	}
+	m.Store(Addr(0x1000+2*uint64(one)), 3)
+	if m.Footprint() != 2*one {
+		t.Fatalf("distant store footprint = %d, want %d", m.Footprint(), 2*one)
+	}
+}

@@ -1,0 +1,12 @@
+package pmu
+
+import "testing"
+
+func TestPeriodsAccessor(t *testing.T) {
+	var c Counters
+	p := DefaultPeriods()
+	c.SetPeriods(p)
+	if got := c.Periods(); got != p {
+		t.Fatalf("Periods() = %v, want %v", got, p)
+	}
+}

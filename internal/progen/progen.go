@@ -1,0 +1,470 @@
+// Package progen generates seed-deterministic random transactional
+// programs: small DSL descriptions over the simulated machine's op set
+// (transaction begin/end, loads/stores with controllable footprint and
+// conflict topology, nested transactions and fallback-lock paths,
+// in-transaction call trees, unfriendly instructions) that compile
+// into runnable htmbench workloads.
+//
+// The generator exists to exercise the profiler on the long tail of
+// transaction shapes a fixed benchmark suite cannot cover (paper
+// §7.2's hidden-ground-truth validation, extended to randomized
+// programs). Every program records, by construction, the ground truth
+// the validation harness (internal/validate) judges the profiler
+// against: which source sites truly share data, which falsely share a
+// cache line, what the final memory state must be, and which abort
+// causes its regions can produce.
+//
+// Generation is a pure function of the Config: the same seed yields
+// the same Program, and building the program on two machines yields
+// bit-identical executions for equal machine seeds.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"txsampler/internal/htmbench"
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+// Kind enumerates the region templates the generator composes
+// programs from. Each kind is designed to provoke one documented
+// profiler-visible behaviour with a known ground truth.
+type Kind uint8
+
+const (
+	// KindPrivate updates a per-thread private cache line: the
+	// low-abort baseline region.
+	KindPrivate Kind = iota
+	// KindTrueShare makes every thread read-modify-write the same
+	// word: conflict aborts plus true-sharing memory samples.
+	KindTrueShare
+	// KindFalseShare gives each thread its own word on one shared
+	// cache line: conflict aborts despite disjoint data, plus
+	// false-sharing memory samples.
+	KindFalseShare
+	// KindCapacity writes a strided footprint through one L1 set; at
+	// Lines > associativity the write set overflows and the region
+	// aborts with a capacity(write) cause on every attempt.
+	KindCapacity
+	// KindSyscall executes an unfriendly instruction inside the
+	// transaction on every Every'th iteration: synchronous aborts and
+	// guaranteed fallback serialization.
+	KindSyscall
+	// KindExplicit XABORTs the transaction on every Every'th
+	// iteration: explicit aborts with fallback re-execution.
+	KindExplicit
+	// KindNested opens a nested transaction (TSX flattening) around
+	// its update; in the fallback path the nested begin runs
+	// non-speculatively under the held lock.
+	KindNested
+
+	// NumKinds is the number of region kinds.
+	NumKinds = iota
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPrivate:
+		return "private"
+	case KindTrueShare:
+		return "true-share"
+	case KindFalseShare:
+		return "false-share"
+	case KindCapacity:
+		return "capacity"
+	case KindSyscall:
+		return "syscall"
+	case KindExplicit:
+		return "explicit"
+	case KindNested:
+		return "nested"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Region is one generated critical-section template. All threads visit
+// every region once per iteration, inside the program's elided global
+// lock, wrapped in a generated call chain so in-transaction calling
+// contexts are non-trivial.
+type Region struct {
+	Kind Kind
+	ID   int
+	// Site is the source-site label (machine.Thread.At) attached to
+	// the region's accesses; the validation harness matches reported
+	// sharing sites against it.
+	Site string
+	// Depth is the in-transaction call-chain depth above the access
+	// (frames g<ID>_0 .. g<ID>_{Depth-1}).
+	Depth int
+	// Fanout adds completed sibling calls (call+return pairs) before
+	// the access — LBR churn that the §3.4 pairing must replay and
+	// discard without corrupting the open-frame reconstruction.
+	Fanout int
+	// Lines is the strided footprint of a KindCapacity region; with
+	// the benchmark cache's 4-way L1 sets, Lines > 4 overflows.
+	Lines int
+	// Compute is in-transaction compute padding in cycles, widening
+	// the conflict window.
+	Compute int
+	// Every gates KindSyscall/KindExplicit misbehaviour to every
+	// Every'th iteration (1 = always).
+	Every int
+	// NonCSWork is compute burned outside the critical section before
+	// each visit, diluting critical-section time.
+	NonCSWork int
+}
+
+// branches returns the taken in-transaction branches one clean attempt
+// of the region records (calls and returns, including the dedicated
+// leaf frame), which the generator keeps under the LBR budget so
+// fault-free reconstructions never truncate.
+func (r Region) branches() int { return 2 * (r.Depth + r.Fanout + 1) }
+
+// Program is one generated transactional program plus its
+// by-construction ground truth.
+type Program struct {
+	Name    string
+	Seed    int64
+	Threads int
+	// Iters is the per-thread iteration count; each iteration visits
+	// every region once.
+	Iters   int
+	Regions []Region
+
+	// TrueSites and FalseSites are the site labels that perform
+	// same-word and same-line/different-word cross-thread accesses —
+	// the expected answer for the profiler's sharing classification.
+	TrueSites  []string
+	FalseSites []string
+}
+
+// Config parameterizes generation. The zero value of every field
+// selects a seed-deterministic random choice (or a documented
+// default), so Config{Seed: s} is the common call.
+type Config struct {
+	Seed    int64
+	Threads int // 0 = random in [2,6]
+	Regions int // 0 = random in [3,6]
+	Iters   int // 0 = random in [30,70]
+	// LBRBudget bounds the in-transaction branches a region's clean
+	// attempt records (0 = 12, under the default 16-deep LBR so
+	// fault-free reconstructions never truncate). Raising it past the
+	// machine's LBR depth deliberately generates truncating programs.
+	LBRBudget int
+	// Ways is the L1 associativity capacity regions overflow against
+	// (0 = 4, matching txsampler.BenchCache).
+	Ways int
+}
+
+func (c Config) withDefaults(rng *rand.Rand) Config {
+	if c.Threads == 0 {
+		c.Threads = 2 + rng.Intn(5)
+	}
+	if c.Regions == 0 {
+		c.Regions = 3 + rng.Intn(4)
+	}
+	if c.Iters == 0 {
+		c.Iters = 30 + rng.Intn(41)
+	}
+	if c.LBRBudget == 0 {
+		c.LBRBudget = 12
+	}
+	if c.Ways == 0 {
+		c.Ways = 4
+	}
+	return c
+}
+
+// Generate produces the program for a configuration. It is pure:
+// equal configs yield equal programs.
+func Generate(cfg Config) *Program {
+	rng := rand.New(rand.NewSource(cfg.Seed*0x5deece66d + 0xb))
+	cfg = cfg.withDefaults(rng)
+	p := &Program{
+		Name:    fmt.Sprintf("progen/s%d", cfg.Seed),
+		Seed:    cfg.Seed,
+		Threads: cfg.Threads,
+		Iters:   cfg.Iters,
+	}
+	// The first two regions always pin down one contended and one
+	// private template so every program has both a known sharing site
+	// and a low-abort baseline; the rest draw from the full mix.
+	for i := 0; i < cfg.Regions; i++ {
+		var kind Kind
+		switch i {
+		case 0:
+			if rng.Intn(2) == 0 {
+				kind = KindTrueShare
+			} else {
+				kind = KindFalseShare
+			}
+		case 1:
+			kind = KindPrivate
+		default:
+			kind = Kind(rng.Intn(NumKinds))
+		}
+		r := Region{
+			Kind:      kind,
+			ID:        i,
+			Depth:     rng.Intn(4),
+			Fanout:    rng.Intn(3),
+			Compute:   5 + rng.Intn(40),
+			Every:     1 + rng.Intn(4),
+			NonCSWork: 20 + rng.Intn(120),
+		}
+		// Respect the LBR budget: shed fanout first, then depth.
+		for r.branches() > cfg.LBRBudget && r.Fanout > 0 {
+			r.Fanout--
+		}
+		for r.branches() > cfg.LBRBudget && r.Depth > 0 {
+			r.Depth--
+		}
+		if kind == KindCapacity {
+			// Around the associativity edge: Ways-1 (always fits),
+			// Ways (exactly at capacity), or Ways+1..Ways+2
+			// (overflows), so profiles see both sides of the edge.
+			r.Lines = cfg.Ways - 1 + rng.Intn(4)
+		}
+		r.Site = fmt.Sprintf("r%d_%s", r.ID, r.Kind)
+		switch kind {
+		case KindTrueShare:
+			p.TrueSites = append(p.TrueSites, r.Site)
+		case KindFalseShare:
+			p.FalseSites = append(p.FalseSites, r.Site)
+		}
+		p.Regions = append(p.Regions, r)
+	}
+	return p
+}
+
+// FrameRegion maps a generated function name back to the region that
+// owns it: call-chain frames g<ID>_<lvl>, leaf frames f<ID>, and
+// sibling frames h<ID>_<j>. Reports ok=false for runtime frames
+// (thread_root, tm_begin, begin_in_tx) and anything else.
+func FrameRegion(fn string) (id int, ok bool) {
+	if len(fn) < 2 || (fn[0] != 'g' && fn[0] != 'f' && fn[0] != 'h') {
+		return 0, false
+	}
+	num := fn[1:]
+	if i := strings.IndexByte(num, '_'); i >= 0 {
+		num = num[:i]
+	} else if fn[0] != 'f' {
+		return 0, false
+	}
+	id, err := strconv.Atoi(num)
+	return id, err == nil
+}
+
+// layout is the per-machine address assignment of a program's regions.
+type layout struct {
+	// shared[i] is the shared line of region i (true/false sharing);
+	// private[i][tid] the per-thread private word; capacity[i][tid]
+	// the strided footprint lines.
+	shared   []mem.Addr
+	private  [][]mem.Addr
+	capacity [][][]mem.Addr
+}
+
+// Workload compiles the program into an (unregistered) htmbench
+// workload whose Check verifies the machine's final memory state
+// against the program's computed expectation.
+func (p *Program) Workload() *htmbench.Workload {
+	return &htmbench.Workload{
+		Name:           p.Name,
+		Suite:          "progen",
+		Desc:           fmt.Sprintf("generated program: %d regions x %d iters", len(p.Regions), p.Iters),
+		DefaultThreads: p.Threads,
+		Build:          p.build,
+	}
+}
+
+func (p *Program) build(ctx *htmbench.Ctx) *htmbench.Instance {
+	m := ctx.M
+	sets := m.Config().Cache.Sets
+	lay := &layout{
+		shared:   make([]mem.Addr, len(p.Regions)),
+		private:  make([][]mem.Addr, len(p.Regions)),
+		capacity: make([][][]mem.Addr, len(p.Regions)),
+	}
+	for i, r := range p.Regions {
+		switch r.Kind {
+		case KindTrueShare, KindFalseShare:
+			lay.shared[i] = m.Mem.AllocLines(1)
+		case KindCapacity:
+			lay.capacity[i] = make([][]mem.Addr, ctx.Threads)
+			for tid := 0; tid < ctx.Threads; tid++ {
+				// A strided footprint through one cache set: line j
+				// maps to the same set as line 0, so Lines beyond the
+				// associativity overflow the transactional write set.
+				base := m.Mem.AllocLines(1 + (r.Lines-1)*sets)
+				lines := make([]mem.Addr, r.Lines)
+				for j := 0; j < r.Lines; j++ {
+					lines[j] = base.Offset(j * sets * mem.WordsPerLine)
+				}
+				lay.capacity[i][tid] = lines
+			}
+		default:
+			lay.private[i] = make([]mem.Addr, ctx.Threads)
+			for tid := 0; tid < ctx.Threads; tid++ {
+				lay.private[i][tid] = m.Mem.AllocLines(1)
+			}
+		}
+	}
+
+	bodies := make([]func(*machine.Thread), ctx.Threads)
+	for tid := 0; tid < ctx.Threads; tid++ {
+		tid := tid
+		bodies[tid] = func(t *machine.Thread) {
+			for it := 0; it < p.Iters; it++ {
+				for i := range p.Regions {
+					p.visit(ctx, lay, &p.Regions[i], t, tid, it)
+				}
+			}
+		}
+	}
+	return &htmbench.Instance{Bodies: bodies, Check: p.check(ctx.Threads, lay)}
+}
+
+// visit executes one region visit on thread tid, iteration it.
+func (p *Program) visit(ctx *htmbench.Ctx, lay *layout, r *Region, t *machine.Thread, tid, it int) {
+	t.Compute(r.NonCSWork)
+	ctx.Lock.Run(t, func() {
+		p.descend(r, t, r.Depth, func() {
+			t.At(r.Site)
+			p.access(lay, r, t, tid, it)
+		})
+	})
+}
+
+// descend wraps leaf in the region's generated call chain, inserting
+// the completed sibling calls (LBR churn) at the innermost level. The
+// leaf always gets a dedicated frame so its source-site annotation
+// (Thread.At) is popped with the frame — otherwise a depth-0 region
+// would leave a stale site on the caller's frame and the next
+// region's lock-word spin samples would be mis-attributed to it.
+func (p *Program) descend(r *Region, t *machine.Thread, depth int, leaf func()) {
+	if depth == 0 {
+		t.Func(fmt.Sprintf("f%d", r.ID), func() {
+			for j := 0; j < r.Fanout; j++ {
+				t.Func(fmt.Sprintf("h%d_%d", r.ID, j), func() {
+					t.Compute(2)
+				})
+			}
+			leaf()
+		})
+		return
+	}
+	t.Func(fmt.Sprintf("g%d_%d", r.ID, r.Depth-depth), func() {
+		p.descend(r, t, depth-1, leaf)
+	})
+}
+
+// access performs the region's memory operations. Bodies must be
+// idempotent up to their writes (any transactional attempt may be
+// discarded), so every template applies its externally visible effect
+// exactly once per committed execution.
+func (p *Program) access(lay *layout, r *Region, t *machine.Thread, tid, it int) {
+	i := r.ID
+	switch r.Kind {
+	case KindPrivate:
+		t.Compute(r.Compute)
+		t.Add(lay.private[i][tid], 1)
+	case KindTrueShare:
+		v := t.Load(lay.shared[i])
+		t.Compute(r.Compute)
+		t.Store(lay.shared[i], v+1)
+	case KindFalseShare:
+		slot := lay.shared[i].Offset(tid % mem.WordsPerLine)
+		v := t.Load(slot)
+		t.Compute(r.Compute)
+		t.Store(slot, v+1)
+	case KindCapacity:
+		t.Compute(r.Compute)
+		for _, line := range lay.capacity[i][tid] {
+			t.Store(line, mem.Word(it)+1)
+		}
+	case KindSyscall:
+		t.Add(lay.private[i][tid], 1)
+		if it%r.Every == 0 {
+			t.Syscall("generated")
+		}
+		t.Compute(r.Compute)
+	case KindExplicit:
+		t.Add(lay.private[i][tid], 1)
+		t.Compute(r.Compute)
+		if it%r.Every == 0 && t.InTx() {
+			// XABORT outside a transaction is a no-op on real TSX, so
+			// the fallback re-execution of this body just commits the
+			// update under the lock.
+			t.TxAbort()
+		}
+	case KindNested:
+		t.Compute(r.Compute)
+		// A nested transaction: in the speculative path it flattens
+		// into the enclosing one (an abort unwinds to the outermost
+		// XBEGIN, past this loop). In the fallback path there is no
+		// enclosing transaction, so the nested begin opens a real
+		// top-level one while the lock is held — the nested
+		// fallback-lock shape the paper's fixed suite never
+		// exercises; after a few aborted attempts (ambient faults
+		// can doom them) it executes directly under the lock.
+		for try := 0; ; try++ {
+			if t.Attempt(func() { t.Add(lay.private[i][tid], 1) }) == nil {
+				break
+			}
+			if try == 2 {
+				t.Add(lay.private[i][tid], 1)
+				break
+			}
+		}
+	}
+}
+
+// check returns the result validator: every region's final memory
+// state must match the program's arithmetic expectation, proving the
+// generated program executed to completion exactly once per committed
+// path.
+func (p *Program) check(threads int, lay *layout) func(m *machine.Machine) error {
+	return func(m *machine.Machine) error {
+		iters := mem.Word(p.Iters)
+		for i, r := range p.Regions {
+			switch r.Kind {
+			case KindTrueShare:
+				want := iters * mem.Word(threads)
+				if got := m.Mem.Load(lay.shared[i]); got != want {
+					return fmt.Errorf("progen: region %d (%s): shared word = %d, want %d", i, r.Kind, got, want)
+				}
+			case KindFalseShare:
+				// Threads beyond WordsPerLine share a slot.
+				want := make(map[mem.Addr]mem.Word)
+				for tid := 0; tid < threads; tid++ {
+					want[lay.shared[i].Offset(tid%mem.WordsPerLine)] += iters
+				}
+				for a, w := range want {
+					if got := m.Mem.Load(a); got != w {
+						return fmt.Errorf("progen: region %d (%s): slot %v = %d, want %d", i, r.Kind, a, got, w)
+					}
+				}
+			case KindCapacity:
+				for tid := 0; tid < threads; tid++ {
+					for j, line := range lay.capacity[i][tid] {
+						if got := m.Mem.Load(line); got != iters {
+							return fmt.Errorf("progen: region %d (%s): thread %d line %d = %d, want %d", i, r.Kind, tid, j, got, iters)
+						}
+					}
+				}
+			default:
+				for tid := 0; tid < threads; tid++ {
+					if got := m.Mem.Load(lay.private[i][tid]); got != iters {
+						return fmt.Errorf("progen: region %d (%s): thread %d counter = %d, want %d", i, r.Kind, tid, got, iters)
+					}
+				}
+			}
+		}
+		return nil
+	}
+}

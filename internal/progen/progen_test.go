@@ -1,0 +1,83 @@
+package progen_test
+
+import (
+	"reflect"
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/progen"
+)
+
+// TestGenerateDeterministic: equal configs must yield equal programs.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := progen.Generate(progen.Config{Seed: seed})
+		b := progen.Generate(progen.Config{Seed: seed})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: programs differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+// TestGenerateVariety: across a window of seeds the generator must
+// produce every region kind — otherwise the validation campaign is
+// not exercising the op set it claims to.
+func TestGenerateVariety(t *testing.T) {
+	seen := make(map[progen.Kind]bool)
+	for seed := int64(0); seed < 50; seed++ {
+		p := progen.Generate(progen.Config{Seed: seed})
+		if len(p.TrueSites)+len(p.FalseSites) == 0 {
+			t.Fatalf("seed %d: no sharing sites (first region must be contended)", seed)
+		}
+		for _, r := range p.Regions {
+			seen[r.Kind] = true
+			if got := 2 * (r.Depth + r.Fanout + 1); got > 12 {
+				t.Fatalf("seed %d region %d: %d in-tx branches exceeds the LBR budget", seed, r.ID, got)
+			}
+		}
+	}
+	for k := progen.Kind(0); k < progen.NumKinds; k++ {
+		if !seen[k] {
+			t.Errorf("kind %s never generated in 50 seeds", k)
+		}
+	}
+}
+
+// TestProgramsRun: generated programs must execute to completion with
+// their memory-state checks passing, both natively and profiled.
+func TestProgramsRun(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := progen.Generate(progen.Config{Seed: seed})
+		w := p.Workload()
+		if _, err := txsampler.RunWorkload(w, txsampler.Options{Seed: seed}); err != nil {
+			t.Fatalf("seed %d native: %v", seed, err)
+		}
+		res, err := txsampler.RunWorkload(w, txsampler.Options{Seed: seed, Profile: true})
+		if err != nil {
+			t.Fatalf("seed %d profiled: %v", seed, err)
+		}
+		if res.GroundTruth.Commits == 0 {
+			t.Fatalf("seed %d: no commits in ground truth", seed)
+		}
+	}
+}
+
+// TestProgramsDeterministic: the same program under the same options
+// must produce identical ground truth and elapsed cycles.
+func TestProgramsDeterministic(t *testing.T) {
+	p := progen.Generate(progen.Config{Seed: 7})
+	a, err := txsampler.RunWorkload(p.Workload(), txsampler.Options{Seed: 7, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := txsampler.RunWorkload(p.Workload(), txsampler.Options{Seed: 7, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ElapsedCycles != b.ElapsedCycles {
+		t.Fatalf("elapsed cycles differ: %d vs %d", a.ElapsedCycles, b.ElapsedCycles)
+	}
+	if !reflect.DeepEqual(a.GroundTruth, b.GroundTruth) {
+		t.Fatalf("ground truth differs:\n%+v\n%+v", a.GroundTruth, b.GroundTruth)
+	}
+}

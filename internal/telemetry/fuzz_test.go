@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// FuzzWriteChromeTrace hardens the trace-event writer: any event
+// sequence — arbitrary timestamps, durations, kinds, thread IDs, ring
+// wraparound — must serialize to valid JSON without panicking, and
+// the ring must never hold more than its capacity.
+func FuzzWriteChromeTrace(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 7, 1, 2, 3}, uint8(2))
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 8), uint8(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, capacity uint8) {
+		cap := int(capacity%16) + 1
+		tr := NewTracer(cap)
+		// 11 bytes per event: ts(4) dur(2) tid(2) kind(1) arg(1) name(1).
+		n := 0
+		for i := 0; i+11 <= len(data); i += 11 {
+			tr.Emit(Event{
+				TS:   uint64(binary.LittleEndian.Uint32(data[i:])),
+				Dur:  uint64(binary.LittleEndian.Uint16(data[i+4:])),
+				TID:  int32(int16(binary.LittleEndian.Uint16(data[i+6:]))),
+				Kind: Kind(data[i+8] % 8), // includes one out-of-range kind
+				Arg:  uint64(data[i+9]),
+				Name: fmt.Sprintf("ev%d", data[i+10]%8),
+			})
+			n++
+		}
+		if got := tr.Len(); got > cap || (n < cap && got != n) {
+			t.Fatalf("ring holds %d events after %d emits at capacity %d", got, n, cap)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("trace is not valid JSON: %.200s", buf.String())
+		}
+		// The writer must be repeatable (no internal state consumed).
+		var again bytes.Buffer
+		if err := tr.WriteChromeTrace(&again); err != nil {
+			t.Fatalf("second WriteChromeTrace: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatal("WriteChromeTrace is not repeatable")
+		}
+	})
+}

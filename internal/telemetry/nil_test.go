@@ -1,0 +1,23 @@
+package telemetry
+
+import "testing"
+
+// TestNilMetricsSafe: nil metric handles are the disabled-telemetry
+// fast path — writes are no-ops and reads are zero, never panics.
+func TestNilMetricsSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}

@@ -1,0 +1,188 @@
+package validate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"txsampler/internal/progen"
+)
+
+// TestProgramHealthy: a fault-free generated program must validate
+// with full context recovery and no invariant violations — the
+// acceptance property of the harness, at unit scale.
+func TestProgramHealthy(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		p := progen.Generate(progen.Config{Seed: seed})
+		pr, err := Program(p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if pr.InTxSamples == 0 {
+			t.Fatalf("seed %d: no in-tx samples", seed)
+		}
+		if pr.ContextRecovery < 0.99 {
+			t.Errorf("seed %d: context recovery %.4f < 0.99", seed, pr.ContextRecovery)
+		}
+		if pr.PathDetection < 0.99 {
+			t.Errorf("seed %d: path detection %.4f < 0.99", seed, pr.PathDetection)
+		}
+		if len(pr.Violations) != 0 {
+			t.Errorf("seed %d: invariant violations: %v", seed, pr.Violations)
+		}
+	}
+}
+
+// TestCampaignDeterministic: equal campaign parameters must produce
+// byte-identical JSON reports.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []byte {
+		r, err := Campaign(3, 11, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same campaign produced different reports")
+	}
+}
+
+// TestCampaignAggregates: the aggregate must micro-average the
+// per-program counts, not average the per-program ratios.
+func TestCampaignAggregates(t *testing.T) {
+	progs := []*ProgramResult{
+		{InTxSamples: 100, ContextCorrect: 100, NaiveCorrect: 50, PathDetected: 100,
+			TrueSharing: Sharing{ReportedSites: []string{"a"}, SampledSites: []string{"a"}}},
+		{InTxSamples: 300, ContextCorrect: 240, NaiveCorrect: 0, PathDetected: 300,
+			CauseDrift:  0.07,
+			TrueSharing: Sharing{ReportedSites: []string{"b", "x"}, SampledSites: []string{"b", "c"}},
+			Violations:  []string{"boom"}},
+	}
+	a := aggregate(progs)
+	if a.Programs != 2 || a.InTxSamples != 400 {
+		t.Fatalf("population wrong: %+v", a)
+	}
+	if a.ContextRecovery != 0.85 { // 340/400, not (1.0+0.8)/2
+		t.Errorf("context recovery %.4f, want 0.85", a.ContextRecovery)
+	}
+	if a.NaiveRecovery != 0.125 {
+		t.Errorf("naive recovery %.4f, want 0.125", a.NaiveRecovery)
+	}
+	if a.MaxCauseDrift != 0.07 {
+		t.Errorf("max cause drift %.4f, want 0.07", a.MaxCauseDrift)
+	}
+	// true sharing: reported {a}+{b,x}=3, tp = a,b = 2, sampled {a}+{b,c}=3
+	if a.TrueSharingPrecision != round(2.0/3) {
+		t.Errorf("precision %.4f, want %.4f", a.TrueSharingPrecision, round(2.0/3))
+	}
+	if a.TrueSharingRecall != round(2.0/3) {
+		t.Errorf("recall %.4f, want %.4f", a.TrueSharingRecall, round(2.0/3))
+	}
+	if a.FalseSharingPrecision != 1 || a.FalseSharingRecall != 1 {
+		t.Errorf("false sharing not vacuous: %+v", a)
+	}
+	if a.InvariantViolations != 1 {
+		t.Errorf("violations %d, want 1", a.InvariantViolations)
+	}
+}
+
+// TestBaselineCheck: every gated metric must fail independently and
+// name itself in the error.
+func TestBaselineCheck(t *testing.T) {
+	b := Baseline{
+		MinContextRecovery:       0.99,
+		MinTrueSharingPrecision:  0.9,
+		MinTrueSharingRecall:     0.9,
+		MinFalseSharingPrecision: 0.9,
+		MinFalseSharingRecall:    0.9,
+		MaxCauseDrift:            0.15,
+		MaxInvariantViolations:   0,
+	}
+	good := Aggregate{
+		ContextRecovery: 1, TrueSharingPrecision: 1, TrueSharingRecall: 1,
+		FalseSharingPrecision: 1, FalseSharingRecall: 1, MaxCauseDrift: 0.1,
+	}
+	if err := b.Check(good); err != nil {
+		t.Fatalf("healthy aggregate rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Aggregate)
+	}{
+		{"context_recovery", func(a *Aggregate) { a.ContextRecovery = 0.98 }},
+		{"true_sharing_precision", func(a *Aggregate) { a.TrueSharingPrecision = 0.5 }},
+		{"true_sharing_recall", func(a *Aggregate) { a.TrueSharingRecall = 0.5 }},
+		{"false_sharing_precision", func(a *Aggregate) { a.FalseSharingPrecision = 0.5 }},
+		{"false_sharing_recall", func(a *Aggregate) { a.FalseSharingRecall = 0.5 }},
+		{"max_cause_drift", func(a *Aggregate) { a.MaxCauseDrift = 0.2 }},
+		{"invariant", func(a *Aggregate) { a.InvariantViolations = 1 }},
+	}
+	for _, c := range cases {
+		bad := good
+		c.mutate(&bad)
+		err := b.Check(bad)
+		if err == nil {
+			t.Errorf("%s regression accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.name) {
+			t.Errorf("%s regression error does not name the metric: %v", c.name, err)
+		}
+	}
+}
+
+// TestLoadBaseline round-trips the checked-in baseline file.
+func TestLoadBaseline(t *testing.T) {
+	b, err := LoadBaseline("../../VALIDATE_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MinContextRecovery < 0.9 {
+		t.Fatalf("checked-in baseline implausibly low: %+v", b)
+	}
+	if _, err := LoadBaseline("does-not-exist.json"); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}
+
+// TestDriftBound: the statistical widening must shrink toward the
+// base bound as populations grow.
+func TestDriftBound(t *testing.T) {
+	if small, big := driftBound(40, 40), driftBound(4000, 4000); small <= big {
+		t.Fatalf("bound not monotonic: n=40 gives %.3f, n=4000 gives %.3f", small, big)
+	}
+	if b := driftBound(1e12, 1e12); b > shareDrift+0.001 {
+		t.Fatalf("bound does not converge to shareDrift: %.4f", b)
+	}
+}
+
+// TestFrameRegion covers the generated-frame naming contract the
+// harness depends on.
+func TestFrameRegion(t *testing.T) {
+	cases := []struct {
+		fn string
+		id int
+		ok bool
+	}{
+		{"g3_1", 3, true},
+		{"f12", 12, true},
+		{"h0_2", 0, true},
+		{"thread_root", 0, false},
+		{"tm_begin", 0, false},
+		{"begin_in_tx", 0, false},
+		{"g", 0, false},
+		{"fX", 0, false},
+	}
+	for _, c := range cases {
+		id, ok := progen.FrameRegion(c.fn)
+		if ok != c.ok || (ok && id != c.id) {
+			t.Errorf("FrameRegion(%q) = (%d, %v), want (%d, %v)", c.fn, id, ok, c.id, c.ok)
+		}
+	}
+}

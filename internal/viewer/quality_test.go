@@ -1,0 +1,97 @@
+package viewer
+
+import (
+	"strings"
+	"testing"
+
+	"txsampler/internal/telemetry"
+)
+
+// TestDataQualityClean: a fault-free report renders as clean, with the
+// LBR-truncation note only when paths actually truncated.
+func TestDataQualityClean(t *testing.T) {
+	r := report(t)
+	var b strings.Builder
+	DataQuality(&b, r)
+	if !strings.Contains(b.String(), "data quality: clean") {
+		t.Fatalf("clean report not reported clean:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "truncated") {
+		t.Fatalf("truncation note without truncated paths:\n%s", b.String())
+	}
+
+	r.Quality.TruncatedPaths = 3
+	b.Reset()
+	DataQuality(&b, r)
+	if !strings.Contains(b.String(), "clean") || !strings.Contains(b.String(), "3 in-tx paths truncated") {
+		t.Fatalf("truncation note missing:\n%s", b.String())
+	}
+}
+
+// TestDataQualityDegraded: every degradation counter gets its own row,
+// zero counters stay silent, and the headline counts only
+// fault-driven events.
+func TestDataQualityDegraded(t *testing.T) {
+	r := report(t)
+	r.Quality.Injected.SpuriousAborts = 2
+	r.Quality.Injected.DroppedSamples = 5
+	r.Quality.MalformedSamples = 1
+	r.Quality.UnresolvedInTx = 4
+	r.Quality.InconsistentState = 7
+	r.Quality.TruncatedPaths = 9 // reported, but not "degradation"
+	var b strings.Builder
+	DataQuality(&b, r)
+	out := b.String()
+	if !strings.Contains(out, "DEGRADED — 19 events") {
+		t.Fatalf("headline wrong (want 2+5+1+4+7=19):\n%s", out)
+	}
+	for _, row := range []string{
+		"spurious aborts injected     2",
+		"PMU samples dropped          5",
+		"malformed samples            1",
+		"unresolved in-tx contexts    4",
+		"inconsistent state words     7",
+		"truncated in-tx paths        9",
+	} {
+		if !strings.Contains(out, row) {
+			t.Errorf("missing row %q:\n%s", row, out)
+		}
+	}
+	if strings.Contains(out, "thread stalls") {
+		t.Errorf("zero counter rendered:\n%s", out)
+	}
+}
+
+// TestSelfReport: silent without telemetry, headed metric dump with
+// it.
+func TestSelfReport(t *testing.T) {
+	r := report(t)
+	var b strings.Builder
+	SelfReport(&b, r)
+	if b.Len() != 0 {
+		t.Fatalf("self-report without telemetry:\n%s", b.String())
+	}
+	r.Self = []telemetry.MetricValue{
+		{Name: "collector.samples", Kind: "counter", Value: 64},
+		{Name: "machine.run_ops", Kind: "histogram", Count: 4, Sum: 400},
+	}
+	SelfReport(&b, r)
+	out := b.String()
+	if !strings.Contains(out, "Profiler self-report") ||
+		!strings.Contains(out, "collector.samples") ||
+		!strings.Contains(out, "mean=100.0") {
+		t.Fatalf("self-report incomplete:\n%s", out)
+	}
+}
+
+// TestRenderReportsQuality: the analyzer's own Render must surface
+// degradation too — the panel is not viewer-only.
+func TestRenderReportsQuality(t *testing.T) {
+	r := report(t)
+	r.Quality.MalformedSamples = 2
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "DEGRADED") {
+		t.Fatalf("degradation absent from Render:\n%s", b.String())
+	}
+}

@@ -123,6 +123,12 @@ type Result struct {
 	Report         *analyzer.Report
 	Advice         *decision.Advice
 	CollectorBytes int
+
+	// Collector is the live collector of a profiled run (nil for
+	// native runs). The validation harness (internal/validate)
+	// re-analyzes it under profile permutations to check that profile
+	// coalescing is order-independent.
+	Collector *core.Collector
 }
 
 // Names lists all registered HTMBench workloads.
@@ -206,6 +212,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		res.Report.Partial = canceled
 		res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 		res.CollectorBytes = col.MemoryFootprint()
+		res.Collector = col
 	}
 	if o.Metrics != nil {
 		m.PublishMetrics(o.Metrics)
@@ -238,6 +245,17 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 	if err != nil {
 		return nil, Accuracy{}, err
 	}
+	return RunWorkloadWithAccuracy(w, o)
+}
+
+// RunWorkloadWithAccuracy is RunWithAccuracy for a workload that need
+// not be registered — the validation harness scores generated
+// transactional programs (internal/progen) through it. The returned
+// Result carries the full profiled report, so a single run yields both
+// the profiler's view and the ground-truth accuracy judgment, and the
+// run itself is bit-identical to an ordinary profiled run with the
+// same options (the probe only observes).
+func RunWorkloadWithAccuracy(w *htmbench.Workload, o Options) (*Result, Accuracy, error) {
 	threads := o.Threads
 	if threads == 0 {
 		threads = w.DefaultThreads
@@ -266,6 +284,11 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 	if err := m.Run(inst.Bodies...); err != nil {
 		return nil, Accuracy{}, fmt.Errorf("%s: %w", w.Name, err)
 	}
+	if inst.Check != nil && !o.SkipCheck {
+		if cerr := inst.Check(m); cerr != nil {
+			return nil, Accuracy{}, fmt.Errorf("%s: result check failed: %w", w.Name, cerr)
+		}
+	}
 	res := &Result{
 		Workload: w.Name, Threads: threads,
 		ElapsedCycles: m.Elapsed(), TotalCycles: m.TotalCycles(),
@@ -275,6 +298,7 @@ func RunWithAccuracy(name string, o Options) (*Result, Accuracy, error) {
 	res.Report.Quality.Injected = m.FaultStats()
 	res.Advice = decision.Evaluate(res.Report, o.Thresholds)
 	res.CollectorBytes = col.MemoryFootprint()
+	res.Collector = col
 	if o.Metrics != nil {
 		m.PublishMetrics(o.Metrics)
 		col.PublishMetrics(o.Metrics)

@@ -15,6 +15,16 @@ func TestNamesNonEmpty(t *testing.T) {
 	}
 }
 
+func TestLookup(t *testing.T) {
+	w, err := txsampler.Lookup("parsec/dedup")
+	if err != nil || w == nil || w.Name != "parsec/dedup" {
+		t.Fatalf("Lookup = %+v, %v", w, err)
+	}
+	if _, err := txsampler.Lookup("bogus/none"); err == nil {
+		t.Fatal("unknown workload looked up")
+	}
+}
+
 func TestRunUnknownWorkload(t *testing.T) {
 	if _, err := txsampler.Run("bogus/none", txsampler.Options{}); err == nil {
 		t.Fatal("expected error for unknown workload")
