@@ -15,6 +15,14 @@
 //	htmbench -all
 //	htmbench -seed 5 -profiledir /tmp/profiles stamp/vacation
 //	htmbench -seed 5 -profiledir /tmp/profiles -resume stamp/vacation
+//
+// With -fleet-addr it becomes a fleet-ingestion driver instead: -fleet
+// N simulated nodes each profile the named workloads and upload the
+// shards to a running txsamplerd, optionally through a deterministic
+// fault-injecting network (-net-faults), exercising the daemon's
+// retry, idempotency, and backpressure paths end to end.
+//
+//	htmbench -fleet 32 -fleet-addr http://127.0.0.1:8090 stamp/vacation
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"txsampler"
 	"txsampler/internal/experiments"
 	"txsampler/internal/faults"
+	"txsampler/internal/fleet"
 	"txsampler/internal/htmbench"
 	"txsampler/internal/machine"
 	"txsampler/internal/telemetry"
@@ -57,7 +66,11 @@ func main() {
 		retries  = flag.Int("retries", 2, "with -profiledir: re-attempts per failed shard (exponential backoff)")
 		shardTO  = flag.Duration("shard-timeout", 0, "with -profiledir: per-shard deadline (0 = none)")
 		crashAt  = flag.Int("crash-after-shards", 0, "with -profiledir: exit(137) after N shards complete (crash-recovery testing)")
-		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
+		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, /metrics, /healthz, and /readyz on this address")
+		fleetAdr = flag.String("fleet-addr", "", "upload profile shards to the txsamplerd daemon at this base URL instead of printing results")
+		fleetN   = flag.Int("fleet", 4, "with -fleet-addr: simulated fleet size (nodes)")
+		fleetWin = flag.Int("fleet-window", 0, "with -fleet-addr: aggregation window ordinal stamped on the shards")
+		netPlan  = flag.String("net-faults", "", "with -fleet-addr: network fault plan for uploads: a preset ("+strings.Join(faults.NetPresetNames(), ", ")+") or key=value pairs (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -132,6 +145,31 @@ func main() {
 	// their next quantum boundary, journaled progress stays on disk.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *fleetAdr != "" {
+		np, err := faults.ParseNetPlan(*netPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htmbench: invalid -net-faults: %v\n", err)
+			os.Exit(2)
+		}
+		rep, err := fleet.RunFleet(fleet.FleetConfig{
+			BaseURL: *fleetAdr, Nodes: *fleetN, Workloads: names,
+			Threads: *threads, Seed: *seed, Window: *fleetWin,
+			Plan: plan, Net: np, Quantum: *quantum,
+			ShardTimeout: *shardTO, Context: ctx, Log: os.Stdout,
+		})
+		switch {
+		case err != nil && errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "htmbench: interrupted")
+			os.Exit(130)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "htmbench: %v\n", err)
+			os.Exit(1)
+		case rep.Failed > 0:
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *profdir != "" {
 		rep, err := experiments.ProfileCampaign(os.Stdout, experiments.CampaignConfig{

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// AppendLog is the reusable core of the campaign journal: an
+// append-only line-oriented file whose appends are fsynced one line
+// at a time, so the log never claims more than the disk holds. A
+// crash can at worst tear the final line; OpenAppendLog detects the
+// torn tail during replay and truncates it away, so later appends
+// start on a clean boundary. The campaign journal and the fleet
+// ingest shard log are both built on it.
+type AppendLog struct {
+	f *os.File
+	// size is the current byte length of the intact log; Append
+	// returns each record's starting offset against it.
+	size int64
+}
+
+// OpenAppendLog opens (resume=true) or recreates (resume=false) the
+// log at path. On resume every intact line is passed to replay in
+// order; a line that replay rejects (or that lacks its newline) is
+// treated as the torn tail — it and everything after it are
+// truncated. replay may be nil to skip per-line processing.
+func OpenAppendLog(path string, resume bool, replay func(line []byte) error) (*AppendLog, error) {
+	mode := os.O_RDWR | os.O_CREATE
+	if !resume {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &AppendLog{f: f}
+	if resume {
+		if err := l.replay(replay); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// replay loads the log, tolerating exactly one torn trailing line.
+func (l *AppendLog) replay(handle func(line []byte) error) error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return err
+	}
+	valid := 0 // bytes up to the end of the last intact line
+	for len(data) > valid {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := data[valid : valid+nl]
+		if handle != nil {
+			if err := handle(line); err != nil {
+				break // torn or garbage tail: stop replay here
+			}
+		}
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		// Drop the torn tail so the next append starts a fresh line.
+		if err := l.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("campaign: truncating torn log tail: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(int64(valid), io.SeekStart); err != nil {
+		return err
+	}
+	l.size = int64(valid)
+	return nil
+}
+
+// Append writes one line (a trailing newline is added) and fsyncs it.
+// It returns the byte offset the record starts at, so callers can
+// later re-read it (the fleet daemon's journal-now-merge-later
+// catch-up does). The offset is valid even when the write fails
+// partway — callers that keep going treat the log as advisory.
+func (l *AppendLog) Append(line []byte) (offset int64, err error) {
+	offset = l.size
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	n, err := l.f.Write(buf)
+	l.size += int64(n)
+	if err != nil {
+		return offset, err
+	}
+	return offset, l.f.Sync()
+}
+
+// Size returns the current intact byte length of the log.
+func (l *AppendLog) Size() int64 { return l.size }
+
+// Path returns the log's file path.
+func (l *AppendLog) Path() string { return l.f.Name() }
+
+// Close closes the log file.
+func (l *AppendLog) Close() error { return l.f.Close() }

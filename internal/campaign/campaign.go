@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"txsampler/internal/retry"
 	"txsampler/internal/telemetry"
 )
 
@@ -74,7 +75,9 @@ type Options struct {
 	Timeout time.Duration
 	// Retries is the number of re-attempts after a shard's first
 	// failure (0 = fail immediately). Attempts back off exponentially
-	// from Backoff (default 100ms).
+	// from Backoff (default 100ms) via the shared retry policy;
+	// campaign backoff is jitter-free so identical campaigns remain
+	// deterministic.
 	Retries int
 	Backoff time.Duration
 	// Context cancels the whole campaign (nil = Background). Already
@@ -136,6 +139,7 @@ func Run(shards []Shard, j *Journal, o Options) (*Report, error) {
 	if o.Backoff <= 0 {
 		o.Backoff = 100 * time.Millisecond
 	}
+	backoff := retry.Policy{BaseDelay: o.Backoff}
 	var (
 		mu        sync.Mutex
 		rep       Report
@@ -209,12 +213,9 @@ func Run(shards []Shard, j *Journal, o Options) (*Report, error) {
 				return
 			}
 			count(&rep.Retries, "retries")
-			delay := o.Backoff << (attempt - 1)
+			delay := backoff.Delay(attempt)
 			logf("campaign: %s: attempt %d failed (%v); retrying in %v", key, attempt, err, delay)
-			select {
-			case <-time.After(delay):
-			case <-ctx.Done():
-			}
+			_ = retry.Sleep(ctx, delay) // a cancel here is caught at the top of the loop
 		}
 	}
 

@@ -1,11 +1,8 @@
 package campaign
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
-	"os"
 	"sync"
 )
 
@@ -27,13 +24,13 @@ type Entry struct {
 	Err      string `json:"err,omitempty"`
 }
 
-// Journal is the append-only JSONL manifest of a campaign. Appends are
-// fsynced line-by-line, so the journal never claims more than the disk
-// holds; a crash can at worst tear the final line, which OpenJournal
-// truncates away on resume.
+// Journal is the append-only JSONL manifest of a campaign, built on
+// AppendLog: appends are fsynced line-by-line, so the journal never
+// claims more than the disk holds; a crash can at worst tear the
+// final line, which OpenJournal truncates away on resume.
 type Journal struct {
 	mu    sync.Mutex
-	f     *os.File
+	log   *AppendLog
 	state map[string]Entry
 }
 
@@ -43,54 +40,23 @@ type Journal struct {
 // (crash mid-append) is discarded and truncated so later appends start
 // on a clean boundary.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	mode := os.O_RDWR | os.O_CREATE
-	if !resume {
-		mode |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, mode, 0o644)
+	j := &Journal{state: make(map[string]Entry)}
+	log, err := OpenAppendLog(path, resume, func(line []byte) error {
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return err
+		}
+		if e.Key == "" {
+			return fmt.Errorf("campaign: journal line without key")
+		}
+		j.state[e.Key] = e
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, state: make(map[string]Entry)}
-	if resume {
-		if err := j.replay(); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
+	j.log = log
 	return j, nil
-}
-
-// replay loads the journal, tolerating exactly one torn trailing line.
-func (j *Journal) replay() error {
-	data, err := io.ReadAll(j.f)
-	if err != nil {
-		return err
-	}
-	valid := 0 // bytes up to the end of the last intact line
-	for len(data) > valid {
-		nl := bytes.IndexByte(data[valid:], '\n')
-		if nl < 0 {
-			break // torn tail: no newline
-		}
-		line := data[valid : valid+nl]
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
-			break // torn or garbage tail: stop replay here
-		}
-		j.state[e.Key] = e
-		valid += nl + 1
-	}
-	if valid < len(data) {
-		// Drop the torn tail so the next append starts a fresh line.
-		if err := j.f.Truncate(int64(valid)); err != nil {
-			return fmt.Errorf("campaign: truncating torn journal tail: %w", err)
-		}
-	}
-	if _, err := j.f.Seek(int64(valid), io.SeekStart); err != nil {
-		return err
-	}
-	return nil
 }
 
 // State returns the last journaled entry for key.
@@ -119,15 +85,13 @@ func (j *Journal) Record(e Entry) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state[e.Key] = e
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
-		return err
-	}
-	return j.f.Sync()
+	_, err = j.log.Append(line)
+	return err
 }
 
 // Close closes the journal file.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.f.Close()
+	return j.log.Close()
 }

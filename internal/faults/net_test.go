@@ -1,0 +1,213 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseNetPlan(t *testing.T) {
+	p, err := ParseNetPlan("net-drop=0.1,dup=0.05,reset=0.02,latency=0.3,latency-ms=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropRate != 0.1 || p.DupRate != 0.05 || p.ResetRate != 0.02 || p.LatencyRate != 0.3 || p.LatencyMaxMS != 20 {
+		t.Errorf("parsed plan = %+v", p)
+	}
+	// Round-trip through String.
+	p2, err := ParseNetPlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("String round-trip: %+v != %+v", p2, p)
+	}
+	if s := (NetPlan{}).String(); s != "none" {
+		t.Errorf("zero plan String = %q", s)
+	}
+	for _, name := range NetPresetNames() {
+		if _, err := ParseNetPlan(name); err != nil {
+			t.Errorf("preset %q does not parse: %v", name, err)
+		}
+	}
+	if _, err := ParseNetPlan("none"); err != nil {
+		t.Errorf("none: %v", err)
+	}
+	for _, bad := range []string{"bogus", "net-drop=x", "unknown=1", "net-drop=1.5"} {
+		if _, err := ParseNetPlan(bad); err == nil {
+			t.Errorf("ParseNetPlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNetInjectorDeterministic(t *testing.T) {
+	plan := NetPlan{DropRate: 0.3, DupRate: 0.2, ResetRate: 0.1, LatencyRate: 0.5, LatencyMaxMS: 10}
+	a := NewNetInjector(plan, 42)
+	b := NewNetInjector(plan, 42)
+	for i := 0; i < 200; i++ {
+		da, db := a.Decide(), b.Decide()
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Snapshot(), b.Snapshot())
+	}
+	if a.Snapshot().Total() == 0 {
+		t.Error("no faults injected at these rates in 200 requests")
+	}
+	c := NewNetInjector(plan, 43)
+	same := true
+	for i := 0; i < 50; i++ {
+		if a1, c1 := NewNetInjector(plan, 42).Decide(), c.Decide(); a1 != c1 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision streams")
+	}
+	if NewNetInjector(NetPlan{}, 1) != nil {
+		t.Error("disabled plan should yield a nil injector")
+	}
+}
+
+// echoServer counts complete deliveries and reports read errors.
+type echoServer struct {
+	mu        sync.Mutex
+	delivered int
+	truncated int
+}
+
+func (s *echoServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil || int64(len(body)) != r.ContentLength {
+			s.truncated++
+			http.Error(w, "truncated", http.StatusBadRequest)
+			return
+		}
+		s.delivered++
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client.Do(req)
+}
+
+func TestNetTransportDrop(t *testing.T) {
+	srv := &echoServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	tr := &NetTransport{Injector: &NetInjector{plan: NetPlan{DropRate: 1}, rng: 1}}
+	client := &http.Client{Transport: tr}
+	_, err := post(t, client, ts.URL, "payload")
+	if !errors.Is(err, ErrNetDrop) {
+		t.Fatalf("err = %v, want ErrNetDrop", err)
+	}
+	if srv.delivered != 0 {
+		t.Errorf("dropped request reached the server")
+	}
+}
+
+func TestNetTransportDuplicate(t *testing.T) {
+	srv := &echoServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	tr := &NetTransport{Injector: &NetInjector{plan: NetPlan{DupRate: 1}, rng: 1}}
+	client := &http.Client{Transport: tr}
+	resp, err := post(t, client, ts.URL, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if srv.delivered != 2 {
+		t.Errorf("delivered = %d, want 2 (duplicate)", srv.delivered)
+	}
+}
+
+func TestNetTransportResetMidBody(t *testing.T) {
+	srv := &echoServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	tr := &NetTransport{Injector: &NetInjector{plan: NetPlan{ResetRate: 1}, rng: 1}}
+	client := &http.Client{Transport: tr}
+	_, err := post(t, client, ts.URL, strings.Repeat("x", 4096))
+	if !errors.Is(err, ErrNetReset) {
+		t.Fatalf("err = %v, want ErrNetReset", err)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.delivered != 0 {
+		t.Errorf("reset request counted as delivered")
+	}
+}
+
+func TestNetTransportPassThrough(t *testing.T) {
+	srv := &echoServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	// Nil injector (disabled plan) passes everything through untouched.
+	client := &http.Client{Transport: NewNetTransport(nil, NetPlan{}, 7)}
+	resp, err := post(t, client, ts.URL, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if srv.delivered != 1 {
+		t.Errorf("delivered = %d, want 1", srv.delivered)
+	}
+}
+
+func TestNetTransportLatency(t *testing.T) {
+	srv := &echoServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	tr := NewNetTransport(nil, NetPlan{LatencyRate: 1, LatencyMaxMS: 1}, 3)
+	client := &http.Client{Transport: tr}
+	resp, err := post(t, client, ts.URL, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := tr.Injector.Snapshot()
+	if st.Delayed != 1 || st.DelayedMS == 0 {
+		t.Errorf("latency stats = %+v", st)
+	}
+}
+
+func TestNetTransportBodylessRequest(t *testing.T) {
+	srv := &echoServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	tr := NewNetTransport(nil, NetPlan{DupRate: 1}, 3)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func TestNetStatsTotal(t *testing.T) {
+	s := NetStats{Dropped: 1, Duplicated: 2, Resets: 3, Delayed: 10}
+	if s.Total() != 6 {
+		t.Errorf("Total = %d, want 6 (latency excluded)", s.Total())
+	}
+}

@@ -1,0 +1,456 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"txsampler/internal/core"
+	"txsampler/internal/htm"
+	"txsampler/internal/profile"
+	"txsampler/internal/telemetry"
+)
+
+// shardBytes builds a small, valid framed v2 database whose contents
+// are a function of program and weight, so tests can craft distinct
+// shards cheaply.
+func shardBytes(t *testing.T, program string, tid int, weight uint64) []byte {
+	t.Helper()
+	var leaf core.Metrics
+	leaf.W = 10 * weight
+	leaf.T = 4 * weight
+	leaf.AbortWeight[htm.Conflict] = weight
+	leaf.AbortCount[htm.Conflict] = 1
+	leaf.FalseSharing = weight / 2
+	db := &profile.Database{
+		Version: profile.FormatVersion,
+		Program: program,
+		Threads: 2,
+		Periods: [5]uint64{2000000, 20011, 20011, 8009, 8009},
+		Totals:  leaf,
+		PerThread: []profile.Thread{
+			{TID: tid, CommitSamples: weight, AbortSamples: 1},
+		},
+		Root: &profile.Node{
+			Fn: "<root>",
+			Children: []*profile.Node{
+				{Fn: "main." + strings.ReplaceAll(program, "/", "_"), Site: "L1", Metrics: leaf},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	srv, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// ingest POSTs one shard and returns the response (body consumed into
+// the returned string).
+func ingest(t *testing.T, url string, payload []byte, key string, window int) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/ingest", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set(HeaderKey, key)
+	}
+	req.Header.Set(HeaderWindow, fmt.Sprint(window))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+func waitLagZero(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Lag() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("merge lag stuck at %d", srv.Lag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestIngestAndQuery(t *testing.T) {
+	srv, ts := openTestServer(t, Config{Metrics: telemetry.NewRegistry()})
+	for i := 0; i < 3; i++ {
+		payload := shardBytes(t, "micro/low-abort", i, uint64(10*(i+1)))
+		resp, body := ingest(t, ts.URL, payload, fmt.Sprintf("node-%d/shard", i), 0)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if st := resp.Header.Get(HeaderStatus); st != StatusMerged {
+			t.Fatalf("ingest %d: status header %q", i, st)
+		}
+	}
+	waitLagZero(t, srv)
+
+	resp, body := get(t, ts.URL+"/profile?window=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: status %d: %s", resp.StatusCode, body)
+	}
+	agg, err := profile.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("aggregate does not parse: %v", err)
+	}
+	// Conflict weights 10+20+30 sum commutatively.
+	if got := agg.Totals.AbortWeight[htm.Conflict]; got != 60 {
+		t.Errorf("aggregate conflict weight = %d, want 60", got)
+	}
+	if len(agg.PerThread) != 3 {
+		t.Errorf("aggregate per-thread entries = %d, want 3", len(agg.PerThread))
+	}
+	if !strings.HasPrefix(agg.Program, "fleet/window-0[") {
+		t.Errorf("aggregate program = %q", agg.Program)
+	}
+
+	resp, body = get(t, ts.URL+"/top?window=0&by=aborts&k=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("top: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "main.micro_low-abort") {
+		t.Errorf("top output missing hot context:\n%s", body)
+	}
+	for _, by := range []string{"sharing", "time"} {
+		resp, _ = get(t, ts.URL+"/top?window=0&by="+by)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("top by %s: status %d", by, resp.StatusCode)
+		}
+	}
+
+	resp, body = get(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	for _, want := range []string{`"shards_journaled": 3`, `"shards_merged": 3`, `"fleet.ingested"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("stats missing %q:\n%s", want, body)
+		}
+	}
+
+	resp, _ = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	resp, body = get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "live") {
+		t.Errorf("readyz: status %d body %q", resp.StatusCode, body)
+	}
+
+	// Error paths.
+	resp, _ = get(t, ts.URL+"/profile?window=7")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing window: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/profile?window=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad window: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/top?window=0&by=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad by: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/ingest")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest: status %d", resp.StatusCode)
+	}
+}
+
+func TestIngestIdempotency(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, ts := openTestServer(t, Config{Metrics: reg})
+	payload := shardBytes(t, "micro/low-abort", 0, 10)
+
+	resp, _ := ingest(t, ts.URL, payload, "same-key", 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest: status %d", resp.StatusCode)
+	}
+	resp, _ = ingest(t, ts.URL, payload, "same-key", 0)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get(HeaderStatus) != StatusDuplicate {
+		t.Fatalf("retry: status %d header %q", resp.StatusCode, resp.Header.Get(HeaderStatus))
+	}
+	// No key: the payload hash is the key, so resending identical
+	// bytes is also a duplicate.
+	resp, _ = ingest(t, ts.URL, payload, "", 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyless ingest: status %d", resp.StatusCode)
+	}
+	resp, _ = ingest(t, ts.URL, payload, "", 0)
+	if resp.Header.Get(HeaderStatus) != StatusDuplicate {
+		t.Fatalf("keyless retry not deduplicated (header %q)", resp.Header.Get(HeaderStatus))
+	}
+	waitLagZero(t, srv)
+
+	_, body := get(t, ts.URL+"/profile?window=0")
+	agg, err := profile.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct keys accepted (named + hash), each exactly once.
+	if got := agg.Totals.AbortWeight[htm.Conflict]; got != 20 {
+		t.Errorf("aggregate conflict weight = %d, want 20 (no double-count)", got)
+	}
+	if v := reg.Counter("fleet.duplicates").Value(); v != 2 {
+		t.Errorf("duplicate counter = %d, want 2", v)
+	}
+}
+
+func TestIngestRejectsCorruptPayload(t *testing.T) {
+	_, ts := openTestServer(t, Config{})
+	payload := shardBytes(t, "micro/low-abort", 0, 10)
+
+	// Flip a payload byte: the frame checksum catches it.
+	corrupt := bytes.Clone(payload)
+	corrupt[len(corrupt)-2] ^= 0xff
+	resp, body := ingest(t, ts.URL, corrupt, "", 0)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt shard: status %d: %s", resp.StatusCode, body)
+	}
+	// Truncation (a reset mid-body that somehow reached us) too.
+	resp, _ = ingest(t, ts.URL, payload[:len(payload)/2], "", 0)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated shard: status %d", resp.StatusCode)
+	}
+	resp, _ = ingest(t, ts.URL, []byte("not a profile"), "", 0)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage shard: status %d", resp.StatusCode)
+	}
+	// Bad window header.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/ingest", bytes.NewReader(payload))
+	req.Header.Set(HeaderWindow, "minus one")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad window header: status %d", r2.StatusCode)
+	}
+}
+
+// TestDegradationLadder drives the server down the ladder with a
+// blocked merge pipeline: live acks, then deferred acks past the high
+// watermark, then 429 shedding past max lag — and back to live once
+// the merger drains.
+func TestDegradationLadder(t *testing.T) {
+	gate := make(chan struct{})
+	reg := telemetry.NewRegistry()
+	srv, ts := openTestServer(t, Config{
+		QueueCap:  2,
+		HighWater: 2,
+		LowWater:  1,
+		MaxLag:    6,
+		Metrics:   reg,
+		MergeGate: func() { <-gate },
+	})
+
+	statuses := make(map[string]int)
+	codes := make(map[int]int)
+	var shedResp *http.Response
+	for i := 0; i < 10; i++ {
+		payload := shardBytes(t, "micro/low-abort", i, uint64(i+1))
+		resp, _ := ingest(t, ts.URL, payload, fmt.Sprintf("shard-%d", i), 0)
+		statuses[resp.Header.Get(HeaderStatus)]++
+		codes[resp.StatusCode]++
+		if resp.StatusCode == http.StatusTooManyRequests {
+			shedResp = resp
+		}
+	}
+	if statuses[StatusMerged] == 0 || statuses[StatusDeferred] == 0 || codes[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("ladder not exercised: statuses=%v codes=%v", statuses, codes)
+	}
+	if shedResp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	// Shedding makes the daemon unready.
+	resp, _ := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while shedding: status %d", resp.StatusCode)
+	}
+	if v := reg.Counter("fleet.shed").Value(); v == 0 {
+		t.Error("shed counter is zero")
+	}
+	if v := reg.Counter("fleet.degraded_transitions").Value(); v == 0 {
+		t.Error("degraded transition counter is zero")
+	}
+
+	// Unblock the pipeline: everything journaled must merge, and the
+	// shed shards retry through to acceptance.
+	close(gate)
+	waitLagZero(t, srv)
+	for i := 0; i < 10; i++ {
+		payload := shardBytes(t, "micro/low-abort", i, uint64(i+1))
+		resp, body := ingest(t, ts.URL, payload, fmt.Sprintf("shard-%d", i), 0)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("retry of shard-%d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	waitLagZero(t, srv)
+
+	// Ladder returned to live.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := get(t, ts.URL+"/readyz")
+		if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "live") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never returned to live mode: status %d body %q", resp.StatusCode, body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, body := get(t, ts.URL+"/profile?window=0")
+	agg, err := profile.Read(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights 1..10 accepted exactly once each.
+	if got := agg.Totals.AbortWeight[htm.Conflict]; got != 55 {
+		t.Errorf("aggregate conflict weight = %d, want 55", got)
+	}
+}
+
+func TestRetention(t *testing.T) {
+	srv, ts := openTestServer(t, Config{Retain: 2})
+	for w := 0; w < 4; w++ {
+		payload := shardBytes(t, "micro/low-abort", w, uint64(w+1))
+		resp, _ := ingest(t, ts.URL, payload, fmt.Sprintf("w%d", w), w)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("window %d: status %d", w, resp.StatusCode)
+		}
+	}
+	waitLagZero(t, srv)
+	for w, want := range map[int]int{0: http.StatusGone, 1: http.StatusGone, 2: http.StatusOK, 3: http.StatusOK} {
+		resp, _ := get(t, fmt.Sprintf("%s/profile?window=%d", ts.URL, w))
+		if resp.StatusCode != want {
+			t.Errorf("window %d: status %d, want %d", w, resp.StatusCode, want)
+		}
+		resp, _ = get(t, fmt.Sprintf("%s/top?window=%d", ts.URL, w))
+		if resp.StatusCode != want {
+			t.Errorf("top window %d: status %d, want %d", w, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestRestartReplayByteIdentical is the core crash-consistency
+// property: reopening the state directory rebuilds byte-identical
+// aggregates from the journal alone.
+func TestRestartReplayByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := openTestServer(t, Config{Dir: dir})
+	for i := 0; i < 5; i++ {
+		payload := shardBytes(t, "micro/low-abort", i, uint64(7*(i+1)))
+		window := i % 2
+		if resp, body := ingest(t, ts.URL, payload, fmt.Sprintf("shard-%d", i), window); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	waitLagZero(t, srv)
+	var before [2][]byte
+	for w := range before {
+		_, before[w] = get(t, fmt.Sprintf("%s/profile?window=%d", ts.URL, w))
+	}
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := openTestServer(t, Config{Dir: dir})
+	if srv2.Replayed() != 5 {
+		t.Errorf("replayed %d shards, want 5", srv2.Replayed())
+	}
+	for w := range before {
+		_, after := get(t, fmt.Sprintf("%s/profile?window=%d", ts2.URL, w))
+		if !bytes.Equal(before[w], after) {
+			t.Errorf("window %d aggregate changed across restart (%d vs %d bytes)", w, len(before[w]), len(after))
+		}
+	}
+	// Replayed keys still deduplicate.
+	payload := shardBytes(t, "micro/low-abort", 0, 7)
+	resp, _ := ingest(t, ts2.URL, payload, "shard-0", 0)
+	if resp.Header.Get(HeaderStatus) != StatusDuplicate {
+		t.Errorf("replayed key not deduplicated (header %q)", resp.Header.Get(HeaderStatus))
+	}
+}
+
+// TestReplayTruncatesTornTail simulates a kill -9 mid-append: a
+// half-written journal line is discarded on restart and every intact
+// record before it survives.
+func TestReplayTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := openTestServer(t, Config{Dir: dir})
+	payload := shardBytes(t, "micro/low-abort", 0, 9)
+	if resp, _ := ingest(t, ts.URL, payload, "intact", 0); resp.StatusCode != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	waitLagZero(t, srv)
+	ts.Close()
+	srv.Close()
+
+	path := filepath.Join(dir, JournalName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","window":0,"payload":"aGFsZi13cml0`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if srv2.Replayed() != 1 {
+		t.Errorf("replayed %d, want 1 (torn tail dropped)", srv2.Replayed())
+	}
+	// The torn bytes are gone: the journal accepts new appends cleanly.
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	if resp, body := ingest(t, ts2.URL, shardBytes(t, "micro/low-abort", 1, 3), "fresh", 0); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-truncation ingest: status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,235 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"txsampler/internal/retry"
+	"txsampler/internal/telemetry"
+)
+
+// scriptedDaemon answers /ingest with a scripted status sequence.
+type scriptedDaemon struct {
+	mu      sync.Mutex
+	script  []int // HTTP statuses, one per request; last repeats
+	headers []http.Header
+	seen    int
+	keys    []string
+}
+
+func (d *scriptedDaemon) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		i := d.seen
+		d.seen++
+		d.keys = append(d.keys, r.Header.Get(HeaderKey))
+		if i >= len(d.script) {
+			i = len(d.script) - 1
+		}
+		status := d.script[i]
+		var hdr http.Header
+		if i < len(d.headers) {
+			hdr = d.headers[i]
+		}
+		d.mu.Unlock()
+		for k, vs := range hdr {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		if status == http.StatusOK || status == http.StatusAccepted {
+			w.Header().Set(HeaderStatus, StatusMerged)
+		}
+		w.WriteHeader(status)
+	})
+}
+
+func (d *scriptedDaemon) requests() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seen
+}
+
+// noSleep makes retries instantaneous while recording the delays the
+// policy chose.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	var mu sync.Mutex
+	return func(_ context.Context, d time.Duration) error {
+		mu.Lock()
+		*delays = append(*delays, d)
+		mu.Unlock()
+		return nil
+	}
+}
+
+func testShard() Shard {
+	return Shard{Key: "node-0/w/t0/s1/abc", Node: "node-0", Window: 3, Payload: []byte("ignored by scripted daemon")}
+}
+
+func TestUploaderRetriesTransientFailures(t *testing.T) {
+	d := &scriptedDaemon{script: []int{http.StatusInternalServerError, http.StatusBadGateway, http.StatusOK}}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	var delays []time.Duration
+	reg := telemetry.NewRegistry()
+	up := &Uploader{
+		BaseURL: ts.URL,
+		Policy:  retry.Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Sleep: noSleep(&delays)},
+		Metrics: reg,
+	}
+	res, err := up.Upload(context.Background(), testShard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 || res.Status != StatusMerged {
+		t.Errorf("result = %+v", res)
+	}
+	// Exponential: 10ms then 20ms.
+	if len(delays) != 2 || delays[0] != 10*time.Millisecond || delays[1] != 20*time.Millisecond {
+		t.Errorf("delays = %v", delays)
+	}
+	if v := reg.Counter("fleet.upload.retried").Value(); v != 2 {
+		t.Errorf("retried counter = %d, want 2", v)
+	}
+	if d.keys[0] != d.keys[2] {
+		t.Errorf("idempotency key changed across retries: %q vs %q", d.keys[0], d.keys[2])
+	}
+}
+
+func TestUploaderObeysRetryAfter(t *testing.T) {
+	d := &scriptedDaemon{
+		script:  []int{http.StatusTooManyRequests, http.StatusOK},
+		headers: []http.Header{{"Retry-After": []string{"2"}}},
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	var delays []time.Duration
+	up := &Uploader{
+		BaseURL: ts.URL,
+		Policy:  retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Sleep: noSleep(&delays)},
+	}
+	res, err := up.Upload(context.Background(), testShard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", res.Attempts)
+	}
+	// The daemon's 2s hint overrides the 1ms curve.
+	if len(delays) != 1 || delays[0] != 2*time.Second {
+		t.Errorf("delays = %v, want [2s]", delays)
+	}
+}
+
+func TestUploaderPermanentRejection(t *testing.T) {
+	d := &scriptedDaemon{script: []int{http.StatusBadRequest}}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	up := &Uploader{BaseURL: ts.URL, Policy: retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}}
+	res, err := up.Upload(context.Background(), testShard())
+	if err == nil {
+		t.Fatal("rejected shard reported success")
+	}
+	if res.Attempts != 1 || d.requests() != 1 {
+		t.Errorf("4xx retried: attempts=%d requests=%d", res.Attempts, d.requests())
+	}
+}
+
+func TestUploaderExhaustsRetries(t *testing.T) {
+	d := &scriptedDaemon{script: []int{http.StatusInternalServerError}}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	up := &Uploader{BaseURL: ts.URL, Policy: retry.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+		Sleep: func(context.Context, time.Duration) error { return nil }}}
+	res, err := up.Upload(context.Background(), testShard())
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if res.Attempts != 3 || d.requests() != 3 {
+		t.Errorf("attempts=%d requests=%d, want 3/3", res.Attempts, d.requests())
+	}
+}
+
+func TestUploaderCircuitBreaker(t *testing.T) {
+	d := &scriptedDaemon{script: []int{http.StatusInternalServerError}}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	now := time.Unix(0, 0)
+	br := &retry.Breaker{Threshold: 2, Cooldown: time.Minute, Now: func() time.Time { return now }}
+	reg := telemetry.NewRegistry()
+	up := &Uploader{
+		BaseURL: ts.URL,
+		Policy: retry.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+			Sleep: func(context.Context, time.Duration) error { return nil }},
+		Breaker: br,
+		Metrics: reg,
+	}
+	if _, err := up.Upload(context.Background(), testShard()); err == nil {
+		t.Fatal("want failure")
+	}
+	if !br.Open() {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	// While open, uploads fail fast without touching the daemon.
+	before := d.requests()
+	_, err := up.Upload(context.Background(), testShard())
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if d.requests() != before {
+		t.Error("open breaker still sent requests")
+	}
+	if v := reg.Counter("fleet.upload.breaker_fast_fail").Value(); v == 0 {
+		t.Error("breaker fast-fail counter is zero")
+	}
+
+	// After cooldown the half-open probe goes through; a healthy
+	// daemon closes the breaker.
+	d.mu.Lock()
+	d.script = []int{http.StatusOK}
+	d.seen = 0
+	d.mu.Unlock()
+	now = now.Add(2 * time.Minute)
+	res, err := up.Upload(context.Background(), testShard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusMerged || br.Open() {
+		t.Errorf("recovery failed: res=%+v open=%v", res, br.Open())
+	}
+}
+
+func TestUploaderShedsAreRetryableNotBreaking(t *testing.T) {
+	d := &scriptedDaemon{script: []int{http.StatusTooManyRequests, http.StatusTooManyRequests, http.StatusOK}}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	br := &retry.Breaker{Threshold: 1, Cooldown: time.Minute}
+	up := &Uploader{
+		BaseURL: ts.URL,
+		Policy: retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+			Sleep: func(context.Context, time.Duration) error { return nil }},
+		Breaker: br,
+	}
+	res, err := up.Upload(context.Background(), testShard())
+	if err != nil {
+		t.Fatalf("shed-then-accept upload failed: %v", err)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", res.Attempts)
+	}
+	if br.Open() {
+		t.Error("load shedding tripped the breaker (daemon is alive, it must not)")
+	}
+}

@@ -10,10 +10,17 @@ import (
 
 // DebugHandler returns the debug mux the CLIs expose behind
 // -debug-addr: the standard net/http/pprof profiles, the process-wide
-// expvar dump, and a plain-text /metrics rendering of reg (live,
-// including volatile wall-clock gauges). reg may be nil, in which
-// case /metrics reports no metrics.
-func DebugHandler(reg *Registry) http.Handler {
+// expvar dump, a plain-text /metrics rendering of reg (live, including
+// volatile wall-clock gauges), and the /healthz and /readyz probes.
+// reg may be nil, in which case /metrics reports no metrics.
+//
+// /healthz answers 200 while the process serves HTTP at all (liveness).
+// /readyz runs every supplied ready func and answers 503 with the
+// first failure (readiness); with no ready funcs a serving process is
+// trivially ready. Long-running daemons wire their admission state in
+// here; one-shot CLIs get the endpoints for free so fleet tooling can
+// probe every txsampler process the same way.
+func DebugHandler(reg *Registry, ready ...func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -25,12 +32,24 @@ func DebugHandler(reg *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		WriteText(w, reg.Snapshot(true))
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		for _, probe := range ready {
+			if err := probe(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "txsampler debug endpoints: /debug/pprof/ /debug/vars /metrics")
+		fmt.Fprintln(w, "txsampler debug endpoints: /debug/pprof/ /debug/vars /metrics /healthz /readyz")
 	})
 	return mux
 }
@@ -46,16 +65,16 @@ type DebugServer struct {
 // Close stops the server's listener.
 func (d *DebugServer) Close() error { return d.ln.Close() }
 
-// ServeDebug binds addr and serves DebugHandler(reg) on it in a
-// background goroutine. It returns once the listener is bound so
+// ServeDebug binds addr and serves DebugHandler(reg, ready...) on it
+// in a background goroutine. It returns once the listener is bound so
 // callers can print the effective address; serving errors after a
 // clean bind are ignored (the endpoint is best-effort diagnostics).
-func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+func ServeDebug(addr string, reg *Registry, ready ...func() error) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: debug listener: %w", err)
 	}
-	srv := &http.Server{Handler: DebugHandler(reg)}
+	srv := &http.Server{Handler: DebugHandler(reg, ready...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &DebugServer{Addr: ln.Addr().String(), ln: ln}, nil
 }
