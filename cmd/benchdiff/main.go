@@ -1,12 +1,21 @@
 // Command benchdiff guards against performance regressions: it parses
-// `go test -bench` text output, keeps the best (minimum) ns/op per
-// benchmark across -count repetitions, and compares against a
-// checked-in JSON baseline. Any benchmark slower than the baseline by
-// more than the threshold fails the run — the CI bench-regression
-// gate.
+// `go test -bench` text output and compares against a checked-in JSON
+// baseline. Two metric families are tracked per benchmark: ns/op
+// (lower is better; the best repetition is the minimum) and any
+// custom "/sec" throughput metric reported via b.ReportMetric (higher
+// is better; the best repetition is the maximum). Throughput entries
+// are keyed "<name> <unit>" in the baseline. Any benchmark worse than
+// its baseline by more than the threshold — slower, or less
+// throughput — fails the run: the CI bench-regression gate.
+//
+// -ratio adds a scaling gate on the current run: the first metric's
+// value divided by the second must reach the given minimum. CI uses it
+// to hold the scheduler's 8-thread/1-thread throughput ratio on
+// multicore runners.
 //
 //	go test -bench . -benchtime=3x -count=3 ./internal/machine | benchdiff -baseline BENCH_baseline.json
 //	go test -bench . -benchtime=3x -count=3 ./... | benchdiff -baseline BENCH_baseline.json -update
+//	benchdiff -ratio "Benchmark8t ops/sec|Benchmark1t ops/sec|6.5" bench.txt
 package main
 
 import (
@@ -19,16 +28,28 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one benchmark result line; the -N GOMAXPROCS
 // suffix is stripped so baselines survive runner core-count changes.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// The tail holds alternating value/unit columns (ns/op, B/op, custom
+// metrics).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+(.*)$`)
 
-// parse reads benchmark output, returning the minimum ns/op observed
-// per benchmark name. The minimum is the least noisy statistic on
-// shared runners: it bounds the true cost from above with the fewest
-// scheduling artifacts.
+// higherBetter reports whether a metric key is a throughput ("/sec")
+// entry, where regressions point down instead of up.
+func higherBetter(key string) bool {
+	i := strings.LastIndex(key, " ")
+	return i >= 0 && strings.Contains(key[i+1:], "/sec")
+}
+
+// parse reads benchmark output, returning the best value observed per
+// metric key: minimum ns/op (it bounds the true cost from above with
+// the fewest scheduling artifacts on shared runners) and maximum
+// throughput. ns/op is keyed by bare benchmark name; throughput
+// metrics are keyed "<name> <unit>". Other columns (B/op, allocs/op)
+// are ignored.
 func parse(r io.Reader) (map[string]float64, error) {
 	best := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -38,12 +59,26 @@ func parse(r io.Reader) (map[string]float64, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
-		}
-		if cur, ok := best[m[1]]; !ok || ns < cur {
-			best[m[1]] = ns
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			unit := fields[i+1]
+			var key string
+			switch {
+			case unit == "ns/op":
+				key = m[1]
+			case strings.Contains(unit, "/sec"):
+				key = m[1] + " " + unit
+			default:
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad %s in %q: %w", unit, sc.Text(), err)
+			}
+			cur, ok := best[key]
+			if !ok || (higherBetter(key) && v > cur) || (!higherBetter(key) && v < cur) {
+				best[key] = v
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -52,12 +87,60 @@ func parse(r io.Reader) (map[string]float64, error) {
 	return best, nil
 }
 
+// ratioGate is one -ratio constraint: current[num]/current[den] must
+// be at least min.
+type ratioGate struct {
+	num, den string
+	min      float64
+}
+
+func parseRatio(spec string) (ratioGate, error) {
+	parts := strings.Split(spec, "|")
+	if len(parts) != 3 {
+		return ratioGate{}, fmt.Errorf("benchdiff: -ratio wants \"numerator|denominator|min\", got %q", spec)
+	}
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return ratioGate{}, fmt.Errorf("benchdiff: -ratio minimum %q: %w", parts[2], err)
+	}
+	return ratioGate{num: parts[0], den: parts[1], min: min}, nil
+}
+
+// check evaluates the gate against parsed results, returning a status
+// line and whether the gate failed.
+func (g ratioGate) check(current map[string]float64) (string, bool) {
+	num, okN := current[g.num]
+	den, okD := current[g.den]
+	if !okN || !okD {
+		return fmt.Sprintf("MISSING  ratio %s / %s: metric not in input", g.num, g.den), true
+	}
+	if den == 0 {
+		return fmt.Sprintf("FAIL     ratio %s / %s: denominator is zero", g.num, g.den), true
+	}
+	ratio := num / den
+	status := "ok"
+	failed := false
+	if ratio < g.min {
+		status, failed = "FAIL", true
+	}
+	return fmt.Sprintf("%-8s ratio %s / %s = %.2f (min %.2f)", status, g.num, g.den, ratio, g.min), failed
+}
+
 func main() {
 	var (
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
 		update    = flag.Bool("update", false, "rewrite the baseline from the input instead of comparing")
-		threshold = flag.Float64("threshold", 0.25, "maximum tolerated relative ns/op regression")
+		threshold = flag.Float64("threshold", 0.25, "maximum tolerated relative regression (slower ns/op or lower /sec)")
 	)
+	var gates []ratioGate
+	flag.Func("ratio", `scaling gate "numerator|denominator|min" on the current run (repeatable)`, func(spec string) error {
+		g, err := parseRatio(spec)
+		if err != nil {
+			return err
+		}
+		gates = append(gates, g)
+		return nil
+	})
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -69,7 +152,7 @@ func main() {
 		defer f.Close()
 		in = f
 	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline path] [-update] [-threshold r] [bench-output.txt]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline path] [-update] [-threshold r] [-ratio spec]... [bench-output.txt]")
 		os.Exit(2)
 	}
 
@@ -112,25 +195,39 @@ func main() {
 	for _, n := range names {
 		cur, ok := current[n]
 		if !ok {
-			fmt.Printf("MISSING  %-60s baseline=%.1f ns/op, not in input\n", n, base[n])
+			fmt.Printf("MISSING  %-70s baseline=%.1f, not in input\n", n, base[n])
 			failed = true
 			continue
 		}
-		delta := cur/base[n] - 1
+		unit := "ns/op"
+		if i := strings.LastIndex(n, " "); i >= 0 && strings.Contains(n[i+1:], "/sec") {
+			unit = n[i+1:]
+		}
+		// Signed regression: positive means worse, in either direction.
+		regression := cur/base[n] - 1
+		if higherBetter(n) {
+			regression = base[n]/cur - 1
+		}
 		status := "ok"
-		if delta > *threshold {
+		if regression > *threshold {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%-8s %-60s %10.1f -> %10.1f ns/op (%+.1f%%)\n", status, n, base[n], cur, 100*delta)
+		fmt.Printf("%-8s %-70s %14.1f -> %14.1f %s (%+.1f%% vs baseline)\n",
+			status, n, base[n], cur, unit, 100*(cur/base[n]-1))
 	}
 	for n := range current {
 		if _, ok := base[n]; !ok {
-			fmt.Printf("NEW      %-60s %.1f ns/op (run with -update to record)\n", n, current[n])
+			fmt.Printf("NEW      %-70s %.1f (run with -update to record)\n", n, current[n])
 		}
 	}
+	for _, g := range gates {
+		line, bad := g.check(current)
+		fmt.Println(line)
+		failed = failed || bad
+	}
 	if failed {
-		fmt.Printf("benchdiff: regression beyond %.0f%% threshold\n", 100**threshold)
+		fmt.Printf("benchdiff: regression beyond %.0f%% threshold or scaling gate missed\n", 100**threshold)
 		os.Exit(1)
 	}
 }

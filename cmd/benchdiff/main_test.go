@@ -8,29 +8,36 @@ import (
 const sample = `goos: linux
 goarch: amd64
 pkg: txsampler/internal/machine
-BenchmarkSchedulerOpsPerSec/1thread-native-8         	 1000000	       950.0 ns/op	       0 B/op	       0 allocs/op
-BenchmarkSchedulerOpsPerSec/1thread-native-8         	 1000000	       910.5 ns/op	       0 B/op	       0 allocs/op
-BenchmarkSchedulerOpsPerSec/8threads-native-8        	  500000	      2100 ns/op
+BenchmarkSchedulerOpsPerSec/1threads-native-8        	 1000000	       950.0 ns/op	  52000000 ops/sec	       0 B/op	       0 allocs/op
+BenchmarkSchedulerOpsPerSec/1threads-native-8        	 1000000	       910.5 ns/op	  51000000 ops/sec	       0 B/op	       0 allocs/op
+BenchmarkSchedulerOpsPerSec/8threads-native-8        	  500000	      2100 ns/op	 340000000 ops/sec
 BenchmarkHandleSampleInTx-8                          	  300000	      4000 ns/op
+BenchmarkFleetMergeShardsPerSec/workers=1            	     200	   2834851 ns/op	       352.8 shards/sec	  244989 B/op	     633 allocs/op
 PASS
 `
 
-func TestParseKeepsMinimumAndStripsProcSuffix(t *testing.T) {
+func TestParseKeepsBestPerDirection(t *testing.T) {
 	got, err := parse(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := map[string]float64{
-		"BenchmarkSchedulerOpsPerSec/1thread-native":  910.5,
+		// ns/op keeps the minimum across repetitions...
+		"BenchmarkSchedulerOpsPerSec/1threads-native": 910.5,
 		"BenchmarkSchedulerOpsPerSec/8threads-native": 2100,
 		"BenchmarkHandleSampleInTx":                   4000,
+		"BenchmarkFleetMergeShardsPerSec/workers=1":   2834851,
+		// ...throughput metrics keep the maximum, keyed by unit.
+		"BenchmarkSchedulerOpsPerSec/1threads-native ops/sec":  52000000,
+		"BenchmarkSchedulerOpsPerSec/8threads-native ops/sec":  340000000,
+		"BenchmarkFleetMergeShardsPerSec/workers=1 shards/sec": 352.8,
 	}
 	if len(got) != len(want) {
-		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+		t.Fatalf("parsed %d metrics, want %d: %v", len(got), len(want), got)
 	}
-	for n, ns := range want {
-		if got[n] != ns {
-			t.Errorf("%s = %v ns/op, want %v", n, got[n], ns)
+	for n, v := range want {
+		if got[n] != v {
+			t.Errorf("%s = %v, want %v", n, got[n], v)
 		}
 	}
 }
@@ -42,5 +49,46 @@ func TestParseIgnoresNonBenchLines(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("parsed %v from noise", got)
+	}
+}
+
+func TestHigherBetter(t *testing.T) {
+	for key, want := range map[string]bool{
+		"BenchmarkX":                  false,
+		"BenchmarkX ops/sec":          true,
+		"BenchmarkX/sub shards/sec":   true,
+		"BenchmarkX/with-sec-in-name": false,
+	} {
+		if got := higherBetter(key); got != want {
+			t.Errorf("higherBetter(%q) = %v, want %v", key, got, want)
+		}
+	}
+}
+
+func TestRatioGate(t *testing.T) {
+	current := map[string]float64{
+		"Benchmark8t ops/sec": 340000000,
+		"Benchmark1t ops/sec": 51000000,
+	}
+	g, err := parseRatio("Benchmark8t ops/sec|Benchmark1t ops/sec|6.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line, failed := g.check(current); failed {
+		t.Errorf("6.67x ratio failed a 6.5 gate: %s", line)
+	}
+	g.min = 7.0
+	if line, failed := g.check(current); !failed || !strings.HasPrefix(line, "FAIL") {
+		t.Errorf("6.67x ratio passed a 7.0 gate: %s", line)
+	}
+	g.num = "BenchmarkMissing ops/sec"
+	if _, failed := g.check(current); !failed {
+		t.Error("missing numerator did not fail the gate")
+	}
+	if _, err := parseRatio("only|two"); err == nil {
+		t.Error("malformed -ratio spec accepted")
+	}
+	if _, err := parseRatio("a|b|not-a-number"); err == nil {
+		t.Error("non-numeric -ratio minimum accepted")
 	}
 }

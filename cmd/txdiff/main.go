@@ -2,7 +2,14 @@
 // workloads) and prints the metric deltas and top-moving contexts —
 // the paper's §8 iterative workflow: optimize, re-profile, compare.
 //
+// Either side may also be a comma-separated list of databases or a
+// directory of them; shards on a side are merged (in parallel) into
+// one profile before diffing, so a fleet of per-node uploads diffs
+// directly against another fleet.
+//
 //	txdiff before.json after.json
+//	txdiff before-shards/ after-shards/
+//	txdiff a1.json,a2.json b1.json,b2.json
 //	txdiff -run parsec/dedup parsec/dedup-opt
 package main
 
@@ -14,6 +21,11 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
 	"syscall"
 
 	"txsampler"
@@ -49,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "debug endpoints on http://%s/\n", srv.Addr)
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: txdiff [-run] [-threads N] [-seed S] <before> <after>")
+		fmt.Fprintln(stderr, "usage: txdiff [-run] [-threads N] [-seed S] <before> <after> (each side: database, comma-list, or directory of databases)")
 		return 2
 	}
 
@@ -63,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return res.Report, nil
 		}
-		db, err := profile.Load(arg)
+		db, err := loadMerged(arg)
 		if err != nil {
 			return nil, err
 		}
@@ -84,4 +96,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	analyzer.RenderDiff(stdout, reports[0], reports[1], *top)
 	return 0
+}
+
+// loadMerged resolves one diff side: a single database path, a
+// comma-separated list of paths, or a directory of databases. Multiple
+// shards decode in parallel and merge with profile.MergeAll; the
+// result is independent of decode order and core count.
+func loadMerged(arg string) (*profile.Database, error) {
+	paths, err := expandArg(arg)
+	if err != nil {
+		return nil, err
+	}
+	dbs := make([]*profile.Database, len(paths))
+	errs := make([]error, len(paths))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, p := range paths {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p string) {
+			defer wg.Done()
+			dbs[i], errs[i] = profile.Load(p)
+			<-sem
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", paths[i], err)
+		}
+	}
+	return profile.MergeAll(dbs, 0), nil
+}
+
+// expandArg turns a diff-side argument into the sorted list of
+// database paths it names.
+func expandArg(arg string) ([]string, error) {
+	if strings.Contains(arg, ",") {
+		parts := strings.Split(arg, ",")
+		paths := parts[:0]
+		for _, p := range parts {
+			if p != "" {
+				paths = append(paths, p)
+			}
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("empty database list %q", arg)
+		}
+		return paths, nil
+	}
+	st, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir() {
+		return []string{arg}, nil
+	}
+	entries, err := os.ReadDir(arg)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			paths = append(paths, filepath.Join(arg, e.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("directory %s holds no databases", arg)
+	}
+	sort.Strings(paths)
+	return paths, nil
 }

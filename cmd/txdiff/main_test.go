@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -64,5 +65,44 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-run", "bogus/none", "bogus/none"}, &out, &errb); code != 1 {
 		t.Fatalf("unknown workload exit %d, want 1", code)
+	}
+}
+
+// TestRunMergesShardSides: a diff side given as a directory (or a
+// comma-separated list) is merged into one profile before diffing,
+// and both spellings produce identical output.
+func TestRunMergesShardSides(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i, seed := range []int64{1, 2, 3} {
+		res, err := txsampler.Run("micro/low-abort", txsampler.Options{Threads: 2, Seed: seed, Profile: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.json", i))
+		if err := profile.FromReport(res.Report).Save(path); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	after := saveProfile(t, "micro/true-sharing", 1)
+
+	var dirOut, listOut, errb bytes.Buffer
+	if code := run([]string{dir, after}, &dirOut, &errb); code != 0 {
+		t.Fatalf("directory side exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{strings.Join(paths, ","), after}, &listOut, &errb); code != 0 {
+		t.Fatalf("list side exit %d: %s", code, errb.String())
+	}
+	if dirOut.String() != listOut.String() {
+		t.Errorf("directory and list spellings diff differently:\n%s\n---\n%s", dirOut.String(), listOut.String())
+	}
+	if !strings.Contains(dirOut.String(), "micro/low-abort") {
+		t.Errorf("merged side lost its program name:\n%s", dirOut.String())
+	}
+
+	// An empty directory is a usage error, not a crash.
+	if code := run([]string{t.TempDir(), after}, &dirOut, &errb); code != 1 {
+		t.Errorf("empty directory exit %d, want 1", code)
 	}
 }

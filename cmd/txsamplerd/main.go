@@ -50,7 +50,8 @@ func run(args []string, stdout, stderr io.Writer, started func(addr string, stop
 		high     = fs.Int("high-water", 0, "queue depth that degrades to journal-now-merge-later (0 = 3/4 of -queue)")
 		low      = fs.Int("low-water", 0, "queue depth at which catch-up resumes merging deferred shards (0 = 1/4 of -queue)")
 		maxLag   = fs.Int("max-lag", 0, "journaled-but-unmerged shards beyond which ingest sheds with 429 (0 = 8x -queue)")
-		retain   = fs.Int("retain", 0, "serve only the newest N windows (0 = all)")
+		retain   = fs.Int("retain", 0, "keep only the newest N windows in memory; older ones answer 410 (0 = all)")
+		workers  = fs.Int("merge-workers", 0, "parallel shard-decode workers feeding the merge (0 = GOMAXPROCS)")
 		retryAft = fs.Duration("retry-after", 500*time.Millisecond, "Retry-After hint sent with load-shedding 429s")
 		maxShard = fs.Int64("max-shard-bytes", 32<<20, "largest accepted shard body")
 		dbgAddr  = fs.String("debug-addr", "", "serve net/http/pprof, expvar, /metrics, /healthz, and /readyz on this address")
@@ -75,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer, started func(addr string, stop
 		LowWater:      *low,
 		MaxLag:        *maxLag,
 		Retain:        *retain,
+		MergeWorkers:  *workers,
 		RetryAfter:    *retryAft,
 		MaxShardBytes: *maxShard,
 		Metrics:       reg,

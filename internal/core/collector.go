@@ -337,9 +337,14 @@ func (c *Collector) contextNode(p *Profile, s *machine.Sample) (node *Node, inTx
 	if p.paths == nil {
 		p.paths = make(map[uint64][]cachedPath)
 	}
-	entry := cachedPath{stack: s.Stack, ip: s.IP, inTx: inTx, truncated: truncated, node: node}
+	// Copy the key slices: the machine reuses the sample's backing
+	// arrays for the next delivery, but cache entries live on.
+	entry := cachedPath{
+		stack: append([]lbr.IP(nil), s.Stack...),
+		ip:    s.IP, inTx: inTx, truncated: truncated, node: node,
+	}
 	if evidence {
-		entry.lbr = s.LBR
+		entry.lbr = append([]lbr.Entry(nil), s.LBR...)
 	}
 	p.paths[h] = append(p.paths[h], entry)
 	p.pathCount++

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -56,9 +57,15 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxShardBytes caps an ingest body (default 32 MiB).
 	MaxShardBytes int64
-	// Retain serves only the newest N windows; older windows answer
-	// 410 Gone ("compacted"). 0 serves everything.
+	// Retain keeps only the newest N windows; older windows are
+	// compacted — deleted from the in-memory aggregate map so their
+	// heap is reclaimed — and answer 410 Gone. 0 keeps everything.
 	Retain int
+	// MergeWorkers sizes the merge worker pool (default GOMAXPROCS).
+	// Workers decode shard payloads in parallel and feed the window
+	// aggregates through a serialized commutative fold, so the merged
+	// result is independent of worker count and completion order.
+	MergeWorkers int
 	// Metrics receives the daemon's counters and gauges (nil = none).
 	Metrics *telemetry.Registry
 	// Log receives one line per notable event (nil silences).
@@ -93,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxShardBytes <= 0 {
 		c.MaxShardBytes = 32 << 20
 	}
+	if c.MergeWorkers <= 0 {
+		c.MergeWorkers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -116,8 +126,17 @@ type Server struct {
 	merged   atomic.Uint64 // shards merged into aggregates (replay included)
 	replayed uint64        // shards rebuilt from the journal at startup
 
+	// aggMu serializes the commutative folds the merge workers feed
+	// into the window aggregates, and guards the retention watermark.
 	aggMu   sync.Mutex
 	windows map[int]*windowAgg
+	// compactedBelow is the retention horizon: every window ordinal
+	// below it has been compacted (aggregate deleted, memory
+	// reclaimed) and is permanently 410 Gone. Monotone — it only
+	// rises as newer windows arrive — so a compaction decision never
+	// depends on merge interleaving, and a journal replay reaches the
+	// same horizon by the same appends.
+	compactedBelow int
 
 	queue  chan Record
 	closed chan struct{}
@@ -132,6 +151,7 @@ type Server struct {
 	ctrReplayed  *telemetry.Counter
 	ctrMerged    *telemetry.Counter
 	ctrDegraded  *telemetry.Counter
+	ctrCompacted *telemetry.Counter
 	gaugeLag     *telemetry.Gauge
 	gaugeQueue   *telemetry.Gauge
 	gaugeWindows *telemetry.Gauge
@@ -164,6 +184,7 @@ func Open(cfg Config) (*Server, error) {
 	s.ctrReplayed = reg.Counter("fleet.replayed")
 	s.ctrMerged = reg.Counter("fleet.merged")
 	s.ctrDegraded = reg.Counter("fleet.degraded_transitions")
+	s.ctrCompacted = reg.Counter("fleet.windows_compacted")
 	s.gaugeLag = reg.Gauge("fleet.merge_lag", false)
 	s.gaugeQueue = reg.Gauge("fleet.queue_depth", false)
 	s.gaugeWindows = reg.Gauge("fleet.windows", false)
@@ -182,7 +203,14 @@ func Open(cfg Config) (*Server, error) {
 			return fmt.Errorf("fleet: replay %s: %w", rec.Key, err)
 		}
 		s.accepted[rec.Key] = struct{}{}
-		s.window(rec.Window).add(db)
+		// Replay folds under the same retention horizon as live merge:
+		// the watermark is a pure function of the append sequence, so
+		// the rebuilt retained aggregates are byte-identical and the
+		// compacted ones never re-materialize.
+		if rec.Window >= s.compactedBelow {
+			s.window(rec.Window).add(db)
+			s.compactLocked()
+		}
 		s.replayed++
 		return nil
 	})
@@ -198,8 +226,10 @@ func Open(cfg Config) (*Server, error) {
 	if s.replayed > 0 {
 		s.logf("fleet: replayed %d shards into %d windows", s.replayed, len(s.windows))
 	}
-	s.wg.Add(1)
-	go s.merger()
+	s.wg.Add(cfg.MergeWorkers)
+	for i := 0; i < cfg.MergeWorkers; i++ {
+		go s.merger()
+	}
 	return s, nil
 }
 
@@ -247,7 +277,37 @@ func (s *Server) Ready() error {
 	return nil
 }
 
-// merger drains the queue into the window aggregates.
+// compactLocked enforces the retention policy after a fold: when more
+// than Retain windows are live, every window below the Retain largest
+// ordinals is deleted from the aggregate map — the CCT, per-thread
+// table, and program set it held become garbage — and the horizon
+// watermark rises to the smallest surviving ordinal. Caller holds
+// aggMu (or is the single-threaded replay).
+func (s *Server) compactLocked() {
+	if s.cfg.Retain <= 0 || len(s.windows) <= s.cfg.Retain {
+		return
+	}
+	ords := make([]int, 0, len(s.windows))
+	for w := range s.windows {
+		ords = append(ords, w)
+	}
+	sort.Ints(ords)
+	cut := ords[len(ords)-s.cfg.Retain]
+	for _, w := range ords {
+		if w < cut {
+			delete(s.windows, w)
+			s.ctrCompacted.Add(1)
+		}
+	}
+	if cut > s.compactedBelow {
+		s.compactedBelow = cut
+	}
+}
+
+// merger is one merge worker. Workers race on the queue and decode
+// payloads concurrently; the folds themselves serialize on aggMu.
+// Every combining operation is commutative, so the aggregates are
+// independent of which worker merged what and in what order.
 func (s *Server) merger() {
 	defer s.wg.Done()
 	for {
@@ -282,7 +342,13 @@ func (s *Server) merge(rec Record) {
 		s.logf("fleet: merge %s: %v", rec.Key, err)
 	} else {
 		s.aggMu.Lock()
-		s.window(rec.Window).add(db)
+		if rec.Window >= s.compactedBelow {
+			s.window(rec.Window).add(db)
+			s.compactLocked()
+		}
+		// A shard below the horizon stays journaled but folds to
+		// nothing: its window is already compacted and can never be
+		// served again.
 		s.gaugeWindows.Set(uint64(len(s.windows)))
 		s.aggMu.Unlock()
 	}
@@ -346,8 +412,8 @@ func (s *Server) catchup(from int64) {
 	}
 }
 
-// Close stops the pipeline: the merger drains the in-memory queue and
-// the journal is closed. Shards journaled but not merged (deferred
+// Close stops the pipeline: the merge workers drain the in-memory
+// queue and the journal is closed. Shards journaled but not merged (deferred
 // during lag mode) are replayed by the next Open — nothing
 // acknowledged is ever lost.
 func (s *Server) Close() error {
@@ -530,21 +596,12 @@ const (
 	HeaderStatus = "X-Fleet-Status"
 )
 
-// retained reports whether a window is served under the retention
-// policy: with Retain = N only the N largest window ordinals present
-// are queryable; older ones are compacted (data still aggregated and
-// journaled, no longer served).
+// retainedLocked reports whether a window ordinal is above the
+// retention horizon. Compacted windows are gone from memory (the
+// journal still holds their shards); only ordinals at or above the
+// watermark are ever served. Caller holds aggMu.
 func (s *Server) retainedLocked(window int) bool {
-	if s.cfg.Retain <= 0 {
-		return true
-	}
-	larger := 0
-	for w := range s.windows {
-		if w > window {
-			larger++
-		}
-	}
-	return larger < s.cfg.Retain
+	return window >= s.compactedBelow
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -554,12 +611,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.aggMu.Lock()
-	agg, ok := s.windows[window]
-	if ok && !s.retainedLocked(window) {
+	if !s.retainedLocked(window) {
 		s.aggMu.Unlock()
 		http.Error(w, fmt.Sprintf("window %d compacted (retain=%d)", window, s.cfg.Retain), http.StatusGone)
 		return
 	}
+	agg, ok := s.windows[window]
 	if !ok {
 		s.aggMu.Unlock()
 		http.Error(w, fmt.Sprintf("no aggregate for window %d", window), http.StatusNotFound)
@@ -591,12 +648,12 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		by = "aborts"
 	}
 	s.aggMu.Lock()
-	agg, ok := s.windows[window]
-	if ok && !s.retainedLocked(window) {
+	if !s.retainedLocked(window) {
 		s.aggMu.Unlock()
 		http.Error(w, fmt.Sprintf("window %d compacted (retain=%d)", window, s.cfg.Retain), http.StatusGone)
 		return
 	}
+	agg, ok := s.windows[window]
 	if !ok {
 		s.aggMu.Unlock()
 		http.Error(w, fmt.Sprintf("no aggregate for window %d", window), http.StatusNotFound)
@@ -654,15 +711,18 @@ func windowParam(r *http.Request) (int, error) {
 
 // Stats is the /stats response document.
 type Stats struct {
-	Mode     string                  `json:"mode"`
-	Lag      uint64                  `json:"merge_lag"`
-	Queue    int                     `json:"queue_depth"`
-	Appended uint64                  `json:"shards_journaled"`
-	Merged   uint64                  `json:"shards_merged"`
-	Replayed uint64                  `json:"shards_replayed"`
-	Windows  []WindowStats           `json:"windows"`
-	Retain   int                     `json:"retain,omitempty"`
-	Counters []telemetry.MetricValue `json:"counters,omitempty"`
+	Mode     string        `json:"mode"`
+	Lag      uint64        `json:"merge_lag"`
+	Queue    int           `json:"queue_depth"`
+	Appended uint64        `json:"shards_journaled"`
+	Merged   uint64        `json:"shards_merged"`
+	Replayed uint64        `json:"shards_replayed"`
+	Windows  []WindowStats `json:"windows"`
+	Retain   int           `json:"retain,omitempty"`
+	// CompactedBelow is the retention horizon: windows below this
+	// ordinal were dropped from memory and answer 410 Gone.
+	CompactedBelow int                     `json:"compacted_below,omitempty"`
+	Counters       []telemetry.MetricValue `json:"counters,omitempty"`
 }
 
 // WindowStats summarizes one aggregation window.
@@ -685,6 +745,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	s.aggMu.Lock()
+	st.CompactedBelow = s.compactedBelow
 	wins := make([]int, 0, len(s.windows))
 	for win := range s.windows {
 		wins = append(wins, win)

@@ -21,7 +21,7 @@ import (
 // shardBytes builds a small, valid framed v2 database whose contents
 // are a function of program and weight, so tests can craft distinct
 // shards cheaply.
-func shardBytes(t *testing.T, program string, tid int, weight uint64) []byte {
+func shardBytes(t testing.TB, program string, tid int, weight uint64) []byte {
 	t.Helper()
 	var leaf core.Metrics
 	leaf.W = 10 * weight
@@ -283,6 +283,11 @@ func TestDegradationLadder(t *testing.T) {
 		MaxLag:    6,
 		Metrics:   reg,
 		MergeGate: func() { <-gate },
+		// One worker: with a pool, each worker absorbs a queued shard
+		// before blocking on the gate, which would keep the queue below
+		// the high watermark on many-core machines and never trip the
+		// ladder.
+		MergeWorkers: 1,
 	})
 
 	statuses := make(map[string]int)

@@ -108,12 +108,21 @@ func (b *Buffer) Unfreeze() { b.frozen = false }
 // is LBR[0] in the paper's Figure 3(b): the entry the profiler checks
 // for the abort bit.
 func (b *Buffer) Snapshot() []Entry {
-	out := make([]Entry, b.filled)
+	return b.SnapshotInto(nil)
+}
+
+// SnapshotInto is Snapshot writing into dst (grown as needed), so a
+// caller that reuses scratch between samples avoids the allocation.
+func (b *Buffer) SnapshotInto(dst []Entry) []Entry {
+	if cap(dst) < b.filled {
+		dst = make([]Entry, b.filled)
+	}
+	dst = dst[:b.filled]
 	for i := 0; i < b.filled; i++ {
 		idx := (b.head - 1 - i + len(b.entries)*2) % len(b.entries)
-		out[i] = b.entries[idx]
+		dst[i] = b.entries[idx]
 	}
-	return out
+	return dst
 }
 
 // Clear empties the buffer.

@@ -61,6 +61,26 @@ func DefaultCosts() Costs {
 // does not affect the schedule.
 const DefaultQuantum = 4096
 
+// SchedMode selects the cross-thread coordination strategy.
+type SchedMode int
+
+const (
+	// SchedAuto picks the sharded scheduler except where the serial
+	// one is required: Quantum=1 (the per-op debug schedule) and
+	// tracing (run-slice tenures only exist serially).
+	SchedAuto SchedMode = iota
+	// SchedSerial is the baton scheduler: one thread runs at a time,
+	// handing off through a mutex/condvar rendezvous.
+	SchedSerial
+	// SchedSharded is the lock-free scheduler: threads run in
+	// parallel, publishing per-thread atomic epoch clocks; operations
+	// on shared state gate on a min-clock scan so every shared effect
+	// executes in the canonical (clock, ID) order. The schedule — and
+	// every profile built from it — is byte-identical to SchedSerial.
+	// See sched_sharded.go and DESIGN.md §3.2.
+	SchedSharded
+)
+
 // Config describes a machine.
 type Config struct {
 	Threads int          // number of simulated threads; one core each
@@ -108,6 +128,14 @@ type Config struct {
 	// rendezvous after every operation (the per-op debug schedule).
 	// The schedule itself is quantum-invariant; see DESIGN.md.
 	Quantum int
+
+	// Sched selects the scheduler (see SchedMode). The default,
+	// SchedAuto, runs the sharded parallel scheduler unless Quantum=1
+	// or a Trace is attached, which require the serial one;
+	// SchedSharded with a Trace likewise falls back to serial. Both
+	// schedulers produce byte-identical schedules and profiles — the
+	// knob exists for A/B benchmarking and the equivalence tests.
+	Sched SchedMode
 
 	// Trace, when non-nil, records scheduler baton tenures,
 	// transaction regions (with abort causes), and PMU interrupt
@@ -170,10 +198,31 @@ func (c Config) Validate() error {
 	if c.Quantum < 0 {
 		return fmt.Errorf("machine: negative scheduler quantum %d", c.Quantum)
 	}
+	if c.Sched < SchedAuto || c.Sched > SchedSharded {
+		return fmt.Errorf("machine: unknown scheduler mode %d", c.Sched)
+	}
 	if err := (htm.Config{Sets: d.Cache.Sets, Ways: d.Cache.Ways, MaxReadLines: d.MaxReadLines}).Validate(); err != nil {
 		return err
 	}
 	return c.Faults.Validate()
+}
+
+// sharded resolves the scheduler choice for a defaulted Config. The
+// serial scheduler is required for the per-op debug schedule
+// (Quantum=1, whose whole point is a rendezvous per operation) and for
+// tracing (baton tenures only exist when a baton does).
+func (c Config) sharded() bool {
+	if c.Trace != nil {
+		return false
+	}
+	switch c.Sched {
+	case SchedSerial:
+		return false
+	case SchedSharded:
+		return true
+	default:
+		return c.Quantum != 1
+	}
 }
 
 // Sampling reports whether any PMU event is enabled.
@@ -226,6 +275,16 @@ type scheduler struct {
 	// run's context is done; the next thread to rendezvous reports it
 	// and stops the machine at that quantum boundary.
 	cancelErr error
+
+	// Sharded-scheduler state (see sched_sharded.go). clocks holds one
+	// padded published-clock slot per thread; busy counts thread
+	// goroutines that have neither finished nor parked; stopFlag is
+	// the lock-free analogue of stopped, checked at every gate spin
+	// and quantum boundary.
+	sharded  bool
+	clocks   []paddedClock
+	busy     atomic.Int32
+	stopFlag atomic.Bool
 }
 
 // reportLocked delivers the terminal result (first one wins) and stops
@@ -255,6 +314,10 @@ func New(cfg Config) *Machine {
 			Sets: cfg.Cache.Sets, Ways: cfg.Cache.Ways, MaxReadLines: cfg.MaxReadLines,
 		}),
 		sched: &scheduler{done: make(chan error, 1)},
+	}
+	m.sched.sharded = cfg.sharded()
+	if m.sched.sharded {
+		m.sched.clocks = make([]paddedClock, cfg.Threads)
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		m.threads = append(m.threads, newThread(m, i))
@@ -287,6 +350,20 @@ func (m *Machine) Run(bodies ...func(*Thread)) error {
 	s.live = make([]*Thread, len(m.threads))
 	copy(s.live, m.threads)
 	s.status = make([]threadStatus, len(m.threads))
+	if s.sharded {
+		// Publish every thread's initial (possibly skewed) clock before
+		// any goroutine starts, so the first gate scans see real values.
+		for _, t := range m.threads {
+			s.clocks[t.ID].v.Store(t.clock)
+			t.lastPub = t.clock
+		}
+		s.busy.Store(int32(len(m.threads)))
+	}
+	if ctx := m.cfg.Context; ctx != nil && ctx.Err() != nil {
+		// A context canceled before Run is visible synchronously, so
+		// even workloads shorter than one quantum report ErrCanceled.
+		s.cancelErr = context.Cause(ctx)
+	}
 	for i, t := range m.threads {
 		go t.main(bodies[i])
 	}
@@ -439,19 +516,23 @@ func (m *Machine) schedule() error {
 		}()
 	}
 
-	s.mu.Lock()
-	first, err := m.pickNextLocked()
-	if err != nil {
-		s.stopped = true
+	if !s.sharded {
+		// Serial: grant the first operation to the minimum-clock thread;
+		// the threads pass the baton among themselves from there.
+		s.mu.Lock()
+		first, err := m.pickNextLocked()
+		if err != nil {
+			s.stopped = true
+			s.mu.Unlock()
+			return err
+		}
+		if first == nil {
+			s.mu.Unlock()
+			return nil
+		}
+		m.grantLocked(first)
 		s.mu.Unlock()
-		return err
 	}
-	if first == nil {
-		s.mu.Unlock()
-		return nil
-	}
-	m.grantLocked(first)
-	s.mu.Unlock()
 
 	select {
 	case err := <-s.done:
@@ -463,13 +544,27 @@ func (m *Machine) schedule() error {
 			return err
 		default:
 		}
+		s.stopFlag.Store(true)
 		s.mu.Lock()
 		s.stopped = true
-		granted := m.threads[s.running]
+		var stuck *Thread
+		if s.sharded {
+			// The thread holding the minimum published clock is the one
+			// every gate is waiting behind — the thread that stopped
+			// executing operations.
+			minC := uint64(clockDone)
+			for i := range s.clocks {
+				if c := s.clocks[i].v.Load(); c < minC {
+					minC, stuck = c, m.threads[i]
+				}
+			}
+		} else {
+			stuck = m.threads[s.running]
+		}
 		snap := make([]threadStatus, len(s.status))
 		copy(snap, s.status)
 		s.mu.Unlock()
-		return watchdogError(timeout, snap, granted)
+		return watchdogError(timeout, snap, stuck)
 	}
 }
 
@@ -496,11 +591,15 @@ func watchdogLoop(timeout time.Duration, progress *atomic.Uint64, fired, stop ch
 	}
 }
 
-func watchdogError(timeout time.Duration, status []threadStatus, granted *Thread) error {
+func watchdogError(timeout time.Duration, status []threadStatus, stuck *Thread) error {
+	if stuck == nil {
+		return errors.New("machine: watchdog: no scheduler progress for " + timeout.String() +
+			" (deadlock in workload or handler code)\n" + dumpStatus(status, -1))
+	}
 	return errors.New("machine: watchdog: no scheduler progress for " + timeout.String() +
-		"; thread " + fmt.Sprint(granted.ID) +
-		" was granted an operation and never yielded (deadlock in workload or handler code)\n" +
-		dumpStatus(status, granted.ID))
+		"; thread " + fmt.Sprint(stuck.ID) +
+		" was mid-operation and did not yield (deadlock in workload or handler code)\n" +
+		dumpStatus(status, stuck.ID))
 }
 
 // dumpStatus renders the per-thread diagnostic dump from the

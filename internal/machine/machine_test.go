@@ -289,7 +289,8 @@ func TestSiteRollsBackOnAbort(t *testing.T) {
 // collectHandler records every delivered sample.
 type collectHandler struct{ samples []*Sample }
 
-func (h *collectHandler) HandleSample(s *Sample) { h.samples = append(h.samples, s) }
+// Clone: the machine reuses the delivered sample across deliveries.
+func (h *collectHandler) HandleSample(s *Sample) { h.samples = append(h.samples, s.Clone()) }
 
 func TestSamplingDeliversAndAborts(t *testing.T) {
 	var periods pmu.Periods

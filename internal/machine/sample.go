@@ -11,6 +11,12 @@ import (
 // the frozen LBR, the RTM library state word, and the (possibly
 // rolled-back) call stack — plus hidden ground-truth fields the
 // correctness tests compare reconstructions against (paper §7.2).
+//
+// The machine reuses one Sample (and the backing arrays of its
+// slices) per thread across deliveries, so the sample is valid only
+// for the duration of HandleSample — like a real PMI handler's signal
+// frame. A handler that retains a sample past its return must Clone
+// it.
 type Sample struct {
 	Event pmu.Event
 	TID   int
@@ -48,4 +54,25 @@ type Sample struct {
 	// validate reconstruction accuracy in tests).
 	TruthStack []lbr.IP
 	TruthInTx  bool
+}
+
+// Clone returns a deep copy of the sample that remains valid after
+// HandleSample returns: the slices get their own backing arrays and
+// the abort record is copied out of the thread's mutable state.
+func (s *Sample) Clone() *Sample {
+	c := *s
+	if s.LBR != nil {
+		c.LBR = append([]lbr.Entry(nil), s.LBR...)
+	}
+	if s.Stack != nil {
+		c.Stack = append([]lbr.IP(nil), s.Stack...)
+	}
+	if s.TruthStack != nil {
+		c.TruthStack = append([]lbr.IP(nil), s.TruthStack...)
+	}
+	if s.Abort != nil {
+		a := *s.Abort
+		c.Abort = &a
+	}
+	return &c
 }

@@ -1,0 +1,180 @@
+package machine
+
+// Equivalence of the sharded lock-free scheduler with the serial baton
+// scheduler: both must produce byte-identical schedules — same sample
+// stream, same clocks, same ground truth — for any GOMAXPROCS and any
+// quantum, including the horizon edge cases: threads tied at the same
+// minimum clock, a thread exiting while it holds the minimum, and the
+// Quantum=1 degenerate run where the sharded gate fires on every
+// operation.
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"txsampler/internal/pmu"
+)
+
+// requireSameRun asserts two captured runs are identical in every
+// observable the schedule determines.
+func requireSameRun(t *testing.T, label string, got, want quantumRun) {
+	t.Helper()
+	if got.elapsed != want.elapsed || got.total != want.total {
+		t.Fatalf("%s: clocks diverge: elapsed %d vs %d, total %d vs %d",
+			label, got.elapsed, want.elapsed, got.total, want.total)
+	}
+	if !reflect.DeepEqual(got.commits, want.commits) || !reflect.DeepEqual(got.aborts, want.aborts) {
+		t.Fatalf("%s: ground truth diverges: commits %v vs %v, aborts %v vs %v",
+			label, got.commits, want.commits, got.aborts, want.aborts)
+	}
+	if len(got.samples) != len(want.samples) {
+		t.Fatalf("%s: %d samples vs %d", label, len(got.samples), len(want.samples))
+	}
+	for i := range want.samples {
+		if !reflect.DeepEqual(got.samples[i], want.samples[i]) {
+			t.Fatalf("%s: sample %d diverges:\ngot:  %+v\nwant: %+v",
+				label, i, got.samples[i], want.samples[i])
+		}
+	}
+}
+
+// contendedConfig is the quantum_test workload config, parameterized by
+// scheduler mode and quantum.
+func contendedConfig(sched SchedMode, quantum int, skew uint64) Config {
+	var p pmu.Periods
+	p[pmu.Cycles] = 400
+	p[pmu.TxAbort] = 4
+	p[pmu.TxCommit] = 8
+	p[pmu.Loads] = 300
+	p[pmu.Stores] = 300
+	return Config{Threads: 4, Seed: 42, Periods: p, StartSkew: skew, Sched: sched, Quantum: quantum}
+}
+
+// contendedBody returns the quantum_test transactional workload: every
+// thread hammers the same 8 words, so aborts, retries, and samples all
+// depend on the exact interleaving the scheduler picks.
+func contendedBody(m *Machine, iters int) func(*Thread) {
+	a := m.Mem.AllocWords(8)
+	return func(t *Thread) {
+		for i := 0; i < iters; i++ {
+			t.Func("worker", func() {
+				t.At("loop")
+				for {
+					if t.Attempt(func() {
+						t.Add(a.Offset(i%8), 1)
+						t.Compute(5)
+					}) == nil {
+						break
+					}
+					t.Compute(20)
+				}
+			})
+		}
+	}
+}
+
+// runContended builds the machine first (the body needs its memory)
+// and runs the contended workload.
+func runContended(t *testing.T, cfg Config, iters int) quantumRun {
+	t.Helper()
+	m := New(cfg)
+	h := &collectHandler{}
+	m.SetHandler(h)
+	if err := m.RunAll(contendedBody(m, iters)); err != nil {
+		t.Fatalf("sched %d quantum %d: %v", cfg.Sched, cfg.Quantum, err)
+	}
+	r := quantumRun{samples: h.samples, elapsed: m.Elapsed(), total: m.TotalCycles()}
+	g := m.GroundTruth()
+	r.commits = g.PerThreadCommits
+	r.aborts = g.PerThreadAborts
+	return r
+}
+
+// TestSchedulerModeEquivalence is the old-vs-new scheduler gate: the
+// serial baton scheduler and the sharded lock-free scheduler must
+// produce byte-identical runs across GOMAXPROCS settings (1 makes the
+// sharded scheduler's goroutines time-slice on one core; higher counts
+// let them genuinely race).
+func TestSchedulerModeEquivalence(t *testing.T) {
+	serial := runContended(t, contendedConfig(SchedSerial, 0, 512), 150)
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		sharded := runContended(t, contendedConfig(SchedSharded, 0, 512), 150)
+		requireSameRun(t, fmt.Sprintf("sharded GOMAXPROCS=%d vs serial", procs), sharded, serial)
+	}
+}
+
+// TestShardedQuantum1Degenerate forces the sharded scheduler with
+// Quantum=1 — a gate check after every operation, the worst case for
+// the min-clock scan — and requires byte-identity with the serial
+// per-op schedule, which defines the canonical order.
+func TestShardedQuantum1Degenerate(t *testing.T) {
+	perOp := runContended(t, contendedConfig(SchedSerial, 1, 512), 100)
+	degenerate := runContended(t, contendedConfig(SchedSharded, 1, 512), 100)
+	requireSameRun(t, "sharded quantum=1 vs serial per-op", degenerate, perOp)
+}
+
+// TestHorizonIdenticalMinClock ties threads at the same published
+// clock: with StartSkew=0 and identical bodies every thread reaches
+// each shared operation at exactly the same clock, so the min-clock
+// gate must break every tie by thread ID to reproduce the serial
+// schedule.
+func TestHorizonIdenticalMinClock(t *testing.T) {
+	serial := runContended(t, contendedConfig(SchedSerial, 1, 0), 100)
+	sharded := runContended(t, contendedConfig(SchedSharded, 0, 0), 100)
+	requireSameRun(t, "identical clocks: sharded vs serial", sharded, serial)
+}
+
+// TestHorizonThreadExitWhileMin exits a thread while it holds the
+// minimum clock: thread 0 stops after a handful of operations while
+// the rest keep going, so the sharded scheduler must publish its done
+// marker (clockDone) or every other thread's gate would wait forever
+// on a clock that can no longer advance.
+func TestHorizonThreadExitWhileMin(t *testing.T) {
+	build := func(sched SchedMode) (Config, func(m *Machine) func(*Thread)) {
+		var p pmu.Periods
+		p[pmu.Cycles] = 250
+		p[pmu.Stores] = 100
+		cfg := Config{Threads: 4, Seed: 7, Periods: p, Sched: sched}
+		body := func(m *Machine) func(*Thread) {
+			a := m.Mem.AllocWords(4)
+			return func(t *Thread) {
+				iters := 400
+				if t.ID == 0 {
+					iters = 3 // exits holding the minimum clock
+				}
+				for i := 0; i < iters; i++ {
+					t.Store(a.Offset(t.ID%4), uint64(i))
+					t.Compute(2)
+				}
+			}
+		}
+		return cfg, body
+	}
+
+	run := func(sched SchedMode) quantumRun {
+		cfg, body := build(sched)
+		m := New(cfg)
+		h := &collectHandler{}
+		m.SetHandler(h)
+		if err := m.RunAll(body(m)); err != nil {
+			t.Fatalf("sched %d: %v", sched, err)
+		}
+		r := quantumRun{samples: h.samples, elapsed: m.Elapsed(), total: m.TotalCycles()}
+		g := m.GroundTruth()
+		r.commits = g.PerThreadCommits
+		r.aborts = g.PerThreadAborts
+		return r
+	}
+
+	serial := run(SchedSerial)
+	sharded := run(SchedSharded)
+	requireSameRun(t, "early exit: sharded vs serial", sharded, serial)
+	if len(serial.samples) == 0 {
+		t.Fatal("workload produced no samples; the comparison is vacuous")
+	}
+}

@@ -1,0 +1,269 @@
+package machine
+
+// Sharded lock-free scheduler (DESIGN.md §3.2). The serial scheduler
+// in machine.go serializes every operation behind one baton; this file
+// implements the default mode, where threads run genuinely in parallel
+// and synchronize only through per-thread published clocks:
+//
+//   - Every thread owns one padded atomic slot holding its published
+//     virtual clock — the pre-operation clock of whatever it executes
+//     next. Finished threads publish ^uint64(0).
+//   - Operations that touch only thread-private state (Compute, Call,
+//     Return, a Syscall outside a transaction, ...) commute with every
+//     concurrent operation on other threads and run ungated.
+//   - Operations that touch shared machine state (memory, caches, the
+//     HTM engine, sample delivery into the collector) execute at their
+//     canonical position: a thread proceeds past the gate only once
+//     its (published clock, ID) is lexicographically smaller than
+//     every other live thread's — i.e. exactly when the canonical
+//     per-op schedule (always advance the live thread with the
+//     smallest (clock, ID)) would run this operation. Because clocks
+//     are monotonic and publishes happen only at operation boundaries,
+//     gated sections are mutually exclusive and totally ordered by
+//     (clock, ID), which is the serial schedule's order — so every
+//     shared-state effect, abort, and sample delivery lands in the
+//     same total order the serial scheduler produces, byte-identical.
+//
+// The scheduler mutex survives only for slow-path bookkeeping: status
+// snapshots at quantum boundaries, terminal-result reporting, and the
+// diagnostic dumps.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// paddedClock is one thread's published-clock slot, padded to a cache
+// line so gate scans by other threads never false-share with the
+// owner's publishes.
+type paddedClock struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// clockDone is published by a finished thread: every gate comparison
+// orders it after any real clock, so waiters run past the dead thread.
+const clockDone = math.MaxUint64
+
+// gate blocks until this thread's pending operation is the canonical
+// minimum: (published clock, ID) lexicographically below every other
+// live thread's published (clock, ID). Once the condition holds for a
+// given published clock it holds forever (other clocks only grow), so
+// the result is cached in t.gated until the next publish; a cached
+// lower bound on the other threads' clocks (t.gClock, t.gID) lets
+// repeat gates at a still-smaller key pass without rescanning.
+// Parks (never returning) if the machine stops while waiting.
+func (t *Thread) gate() {
+	if t.gated {
+		return
+	}
+	key := t.lastPub
+	if t.hasG && (key < t.gClock || (key == t.gClock && t.ID < t.gID)) {
+		t.gated = true
+		return
+	}
+	t.gateSlow(key)
+}
+
+func (t *Thread) gateSlow(key uint64) {
+	s := t.m.sched
+	spins := 0
+	for {
+		minC, minID := uint64(clockDone), len(s.clocks)
+		for i := range s.clocks {
+			if i == t.ID {
+				continue
+			}
+			if c := s.clocks[i].v.Load(); c < minC || (c == minC && i < minID) {
+				minC, minID = c, i
+			}
+		}
+		if key < minC || (key == minC && t.ID < minID) {
+			t.hasG, t.gClock, t.gID = true, minC, minID
+			t.gated = true
+			return
+		}
+		if s.stopFlag.Load() {
+			t.parkSharded(false)
+		}
+		// The canonical-minimum thread never waits here, so the machine
+		// always makes progress; everyone else backs off. Timed sleeps
+		// never affect the schedule — ordering is by virtual clocks.
+		spins++
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			d := time.Duration(spins-63) * time.Microsecond
+			if d > 100*time.Microsecond {
+				d = 100 * time.Microsecond
+			}
+			time.Sleep(d)
+		}
+	}
+}
+
+// publish makes the thread's advanced clock visible to gate scans on
+// other threads and invalidates the proven-canonical flag. Operations
+// that did not move the clock keep the flag: the gate condition for an
+// unchanged key can never be un-proven.
+func (t *Thread) publish() {
+	if t.clock != t.lastPub {
+		t.lastPub = t.clock
+		t.pub.Store(t.clock)
+		t.gated = false
+	}
+}
+
+// Exclusive runs fn at the thread's current canonical position,
+// mutually exclusive with every other thread's Exclusive sections and
+// shared-state operations, in the exact order the serial scheduler
+// would run it. Runtime libraries layered on the machine (internal/rtm,
+// instrumentation sinks) use it to mutate Go-level state shared across
+// simulated threads — per-lock statistics, event logs — which the
+// serial scheduler ordered for free. fn must not invoke thread
+// operations. Under the serial scheduler this is a direct call.
+func (t *Thread) Exclusive(fn func()) {
+	if t.sharded {
+		t.gate()
+	}
+	fn()
+}
+
+// quantumTick is the sharded scheduler's per-quantum slow path: refresh
+// the status snapshot for diagnostic dumps, feed the watchdog, and pick
+// up a pending cancellation — the same bookkeeping a serial rendezvous
+// does, minus any scheduling decision.
+func (t *Thread) quantumTick() {
+	s := t.m.sched
+	t.sinceYield = 0
+	if s.stopFlag.Load() {
+		t.parkSharded(false)
+	}
+	s.mu.Lock()
+	st := statusOf(t)
+	st.ops = t.opCount
+	s.status[t.ID] = st
+	s.progress.Add(1)
+	cancel := s.cancelErr
+	s.mu.Unlock()
+	if cancel != nil {
+		if s.stopFlag.CompareAndSwap(false, true) {
+			t.reportAndParkSharded(fmt.Errorf("%w at a quantum boundary: %w", ErrCanceled, cancel))
+		}
+		t.parkSharded(false)
+	}
+}
+
+// livelockSharded handles a thread whose clock passed MaxCycles: wait
+// to become the canonical minimum (if every thread is over budget, the
+// slowest is; if others finish first, their done-clocks order after
+// ours), then report livelock. Never returns.
+func (t *Thread) livelockSharded() {
+	t.gate() // parks instead if the machine already stopped
+	s := t.m.sched
+	if s.stopFlag.CompareAndSwap(false, true) {
+		s.mu.Lock()
+		st := statusOf(t)
+		st.ops = t.opCount
+		s.status[t.ID] = st
+		dump := dumpStatus(s.status, -1)
+		s.mu.Unlock()
+		t.reportAndParkSharded(fmt.Errorf(
+			"machine: watchdog: slowest live thread passed MaxCycles=%d without completing (livelock?)\n%s",
+			t.maxCycles, dump))
+	}
+	t.parkSharded(false)
+}
+
+// parkSharded retires the goroutine after the machine stopped: record
+// a final status snapshot and block forever, exactly as serial threads
+// park at a rendezvous. Never returns.
+func (t *Thread) parkSharded(decremented bool) {
+	s := t.m.sched
+	if !decremented {
+		s.busy.Add(-1)
+	}
+	s.mu.Lock()
+	st := statusOf(t)
+	st.ops = t.opCount
+	s.status[t.ID] = st
+	t.parkLocked()
+}
+
+// reportAndParkSharded quiesces the machine — every other thread
+// observed stopFlag and parked, or finished — then delivers the
+// terminal result and parks. Quiescing first is what makes machine
+// state (clocks, ground truth, an attached collector) safely readable
+// the moment Run returns. Never returns.
+func (t *Thread) reportAndParkSharded(err error) {
+	s := t.m.sched
+	s.busy.Add(-1)
+	for spins := 0; s.busy.Load() != 0; spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	s.mu.Lock()
+	s.reportLocked(err)
+	t.parkLocked()
+}
+
+// finishSharded is finish() for the sharded scheduler: publish the
+// done-clock so waiters run past this thread, retire from the busy
+// count, and report the terminal result — the workload panic, or nil
+// when the last thread completes.
+func (t *Thread) finishSharded(panicked any) {
+	s := t.m.sched
+	if panicked != nil {
+		// Stop the world before publishing the done-clock: gate waiters
+		// park rather than running past the failure point.
+		won := s.stopFlag.CompareAndSwap(false, true)
+		t.pub.Store(clockDone)
+		s.mu.Lock()
+		st := statusOf(t)
+		st.ops = t.opCount
+		st.done = true
+		s.status[t.ID] = st
+		s.progress.Add(1)
+		s.mu.Unlock()
+		s.busy.Add(-1)
+		if won {
+			// Quiesce — every other thread parked or finished — then
+			// report, so machine state is safely readable after Run.
+			for spins := 0; s.busy.Load() != 0; spins++ {
+				if spins < 64 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+			s.mu.Lock()
+			s.reportLocked(panicErr(t.ID, panicked))
+			s.mu.Unlock()
+		}
+		return
+	}
+	t.pub.Store(clockDone)
+	s.mu.Lock()
+	st := statusOf(t)
+	st.ops = t.opCount
+	st.done = true
+	s.status[t.ID] = st
+	s.progress.Add(1)
+	s.mu.Unlock()
+	if s.busy.Add(-1) == 0 {
+		// Last thread out reports completion. The CAS keeps a racing
+		// cancellation or failure from being overridden — but if every
+		// thread already finished, completion wins, as in serial mode.
+		if s.stopFlag.CompareAndSwap(false, true) {
+			s.mu.Lock()
+			s.reportLocked(nil)
+			s.mu.Unlock()
+		}
+	}
+}

@@ -3,6 +3,7 @@ package machine
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"txsampler/internal/faults"
 	"txsampler/internal/htm"
@@ -83,11 +84,39 @@ type Thread struct {
 	quantum    uint64 // rendezvous at least every quantum operations
 	maxCycles  uint64 // cached Config.MaxCycles
 
+	// Sharded-scheduler state (see sched_sharded.go). pub is this
+	// thread's published-clock slot; lastPub mirrors the last value
+	// stored there (always the pre-operation clock of whatever runs
+	// next). gated caches that the gate condition was proven for
+	// lastPub; (hasG, gClock, gID) cache the minimum other published
+	// (clock, ID) seen by the last scan — a monotone lower bound.
+	sharded bool
+	pub     *atomic.Uint64
+	lastPub uint64
+	gated   bool
+	hasG    bool
+	gClock  uint64
+	gID     int
+
 	// Telemetry state: the clock at the last baton grant (run-slice
 	// start) and exact delivery counts published post-run.
 	sliceStart       uint64
 	interrupts       uint64 // PMU interrupts taken
 	samplesDelivered uint64 // samples handed to the handler
+
+	// Scratch reused across sample deliveries so the delivery hot path
+	// allocates nothing. The Sample handed to the handler (and every
+	// slice it carries) is valid only for the duration of HandleSample;
+	// handlers that retain samples must Clone them.
+	sampleScratch Sample
+	lbrScratch    []lbr.Entry
+	truthScratch  []lbr.IP
+	stackScratch  []lbr.IP
+
+	// evBatch buffers this thread's trace events between flushes so
+	// the tracer's ring mutex is taken once per batch, not per event.
+	// Nil when tracing is disabled.
+	evBatch []telemetry.Event
 }
 
 func newThread(m *Machine, id int) *Thread {
@@ -102,6 +131,13 @@ func newThread(m *Machine, id int) *Thread {
 		maxCycles: m.cfg.MaxCycles,
 	}
 	t.counters.SetPeriods(m.cfg.Periods)
+	if m.sched.sharded {
+		t.sharded = true
+		t.pub = &m.sched.clocks[id].v
+	}
+	if m.cfg.Trace != nil {
+		t.evBatch = make([]telemetry.Event, 0, traceBatchSize)
+	}
 	t.inj = faults.NewInjector(m.cfg.Faults, uint64(m.cfg.Seed)*64+uint64(id)+1)
 	if m.cfg.StartSkew > 0 {
 		// Sampling-period jitter accompanies start skew: both break
@@ -122,6 +158,15 @@ func newThread(m *Machine, id int) *Thread {
 // main is the goroutine body driving the workload under the scheduler.
 func (t *Thread) main(body func(*Thread)) {
 	defer func() { t.finish(recover()) }()
+	if t.sharded {
+		// No start grant: threads free-run immediately; the gates order
+		// every shared-state operation canonically. The initial tick
+		// picks up a context that was canceled before Run, so even a
+		// workload shorter than one quantum observes the cancellation.
+		t.quantumTick()
+		body(t)
+		return
+	}
 	s := t.m.sched
 	s.mu.Lock()
 	for !t.granted {
@@ -137,6 +182,10 @@ func (t *Thread) main(body func(*Thread)) {
 // reports the terminal result (panic, or all threads done) or hands
 // the baton to the next runnable thread.
 func (t *Thread) finish(panicked any) {
+	if t.sharded {
+		t.finishSharded(panicked)
+		return
+	}
 	s := t.m.sched
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -147,6 +196,7 @@ func (t *Thread) finish(panicked any) {
 	s.progress.Add(1)
 	if t.m.cfg.Trace != nil {
 		t.emitRunSlice()
+		t.flushTrace()
 	}
 	for i, c := range s.live {
 		if c == t {
@@ -211,6 +261,7 @@ func (t *Thread) rendezvous() {
 	}
 	if t.m.cfg.Trace != nil {
 		t.emitRunSlice()
+		t.flushTrace() // hand off with an empty batch: ring stays near-ordered
 	}
 	t.m.grantLocked(next)
 	for !t.granted {
@@ -224,6 +275,7 @@ func (t *Thread) rendezvous() {
 // has failed; the goroutine is abandoned exactly as the channel-based
 // scheduler abandoned threads parked at a rendezvous). Never returns.
 func (t *Thread) parkLocked() {
+	t.flushTrace() // retire buffered trace events before blocking forever
 	for {
 		t.cond.Wait()
 	}
@@ -280,6 +332,15 @@ func (t *Thread) stackIPs() []lbr.IP {
 	return out
 }
 
+// stackIPsInto is stackIPs reusing dst's backing array.
+func (t *Thread) stackIPsInto(dst []lbr.IP) []lbr.IP {
+	dst = dst[:0]
+	for _, f := range t.stack {
+		dst = append(dst, lbr.IP{Fn: f.fn, Site: f.site})
+	}
+	return dst
+}
+
 // opMeta carries PMU metadata for one operation.
 type opMeta struct {
 	ev      pmu.Event
@@ -293,7 +354,15 @@ type opMeta struct {
 // startOp begins one operation: deliver any pending asynchronous abort
 // and run the fault injector's per-operation hooks. The operation's
 // effect then executes inline in the caller, followed by endOp.
+//
+// Under the sharded scheduler, any operation inside a transaction
+// gates first — other threads' canonical-order operations may doom
+// this transaction, so even thread-private work must observe shared
+// state at its canonical position.
 func (t *Thread) startOp() {
+	if t.sharded && t.tx != nil {
+		t.gate()
+	}
 	if t.tx != nil && t.tx.Doomed {
 		t.abortNow() // asynchronous abort arrived between operations
 	}
@@ -314,11 +383,23 @@ func (t *Thread) startOp() {
 	}
 }
 
+// startShared begins an operation whose effect touches shared machine
+// state (memory, caches, the HTM engine) even outside a transaction.
+// Under the sharded scheduler it first gates at the thread's canonical
+// position; under the serial scheduler the baton already serializes.
+func (t *Thread) startShared() {
+	if t.sharded {
+		t.gate()
+	}
+	t.startOp()
+}
+
 // endOp completes one operation: unwind if the effect doomed the
 // transaction, advance the clock and PMU counters, deliver counter
-// overflow interrupts, and — only when the per-op scheduler would now
-// select a different thread, or the run quantum is exhausted —
-// rendezvous with the scheduler.
+// overflow interrupts, and reach the scheduler's slow path — a serial
+// rendezvous when the per-op schedule would select another thread or
+// the quantum expires, or (sharded) a publish of the advanced clock
+// plus per-quantum bookkeeping.
 func (t *Thread) endOp(meta opMeta, cost uint64) {
 	if t.tx != nil && t.tx.Doomed {
 		t.abortNow() // the effect doomed us (capacity, sync, explicit)
@@ -335,10 +416,26 @@ func (t *Thread) endOp(meta opMeta, cost uint64) {
 		n++
 	}
 	if n > 0 && t.m.handler != nil {
+		if t.sharded {
+			// Sample delivery mutates shared collector state. Gate at
+			// the operation's canonical position — lastPub still holds
+			// the pre-operation clock — before invoking the handler.
+			t.gate()
+		}
 		t.deliverInterrupt(over[:n], meta)
 	}
 	t.opCount++
 	t.sinceYield++
+	if t.sharded {
+		t.publish()
+		if t.maxCycles > 0 && t.clock > t.maxCycles {
+			t.livelockSharded()
+		}
+		if t.sinceYield >= t.quantum {
+			t.quantumTick()
+		}
+		return
+	}
 	if t.sinceYield >= t.quantum || !t.mayContinue() ||
 		(t.maxCycles > 0 && t.clock > t.maxCycles) {
 		t.rendezvous()
@@ -363,12 +460,10 @@ func (t *Thread) rollback() (abortOverflow bool) {
 	t.clock += t.m.cfg.Costs.TxAbort
 	t.counters.Add(pmu.Cycles, t.m.cfg.Costs.TxAbort)
 	t.aborts[cause]++
-	if t.m.cfg.Trace != nil {
-		t.m.cfg.Trace.Emit(telemetry.Event{
-			Kind: telemetry.KindTxAbort, TS: tx.StartCycle, Dur: t.clock - tx.StartCycle,
-			TID: int32(t.ID), Arg: uint64(cause), Name: abortEventNames[cause],
-		})
-	}
+	t.TraceEvent(telemetry.Event{
+		Kind: telemetry.KindTxAbort, TS: tx.StartCycle, Dur: t.clock - tx.StartCycle,
+		TID: int32(t.ID), Arg: uint64(cause), Name: abortEventNames[cause],
+	})
 	abortOverflow = t.counters.Add(pmu.TxAbort, 1)
 	t.lastAbort = AbortInfo{
 		Cause:        cause,
@@ -386,7 +481,8 @@ func (t *Thread) rollback() (abortOverflow bool) {
 // doomed transaction: roll back, deliver an RTM_RETIRED:ABORTED sample
 // if that counter overflowed, and unwind to Attempt.
 func (t *Thread) abortNow() {
-	truth := t.stackIPs()
+	t.truthScratch = t.stackIPsInto(t.truthScratch)
+	truth := t.truthScratch
 	from := t.curIP()
 	overflow := t.rollback()
 	if overflow && t.m.handler != nil {
@@ -394,6 +490,13 @@ func (t *Thread) abortNow() {
 		events := [1]pmu.Event{pmu.TxAbort}
 		t.deliverSamples(events[:], from, truth, true, opMeta{})
 	}
+	// Deliberately no publish here: the unwind skips endOp, so the
+	// first operation after the abort runs while this thread still
+	// holds the gate at the aborted operation's canonical position —
+	// exactly matching the serial scheduler, where the unwind skips
+	// the rendezvous check and the post-abort operation's effect
+	// executes before the baton can move. The rider's own endOp
+	// publish releases the gate.
 	panic(txAbortSentinel{})
 }
 
@@ -404,7 +507,8 @@ func (t *Thread) abortNow() {
 // plain interrupt branch.
 func (t *Thread) deliverInterrupt(events []pmu.Event, meta opMeta) {
 	t.interrupts++
-	truth := t.stackIPs()
+	t.truthScratch = t.stackIPsInto(t.truthScratch)
+	truth := t.truthScratch
 	ip := t.curIP()
 	wasInTx := t.tx != nil
 	var evBuf [3]pmu.Event // at most two overflow events plus TxAbort
@@ -423,6 +527,8 @@ func (t *Thread) deliverInterrupt(events []pmu.Event, meta opMeta) {
 	}
 	t.deliverSamples(events, ip, truth, wasInTx, meta)
 	if wasInTx {
+		// No publish: the post-abort operation rides along under the
+		// held gate, as in the serial scheduler; see abortNow.
 		panic(txAbortSentinel{})
 	}
 }
@@ -433,16 +539,18 @@ func (t *Thread) deliverInterrupt(events []pmu.Event, meta opMeta) {
 func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, wasInTx bool, meta opMeta) {
 	t.lbrBuf.Freeze()
 	t.counters.Freeze()
-	snapshot := t.lbrBuf.Snapshot()
+	t.lbrScratch = t.lbrBuf.SnapshotInto(t.lbrScratch)
+	snapshot := t.lbrScratch
 	if t.inj != nil {
 		snapshot = t.inj.CorruptLBR(snapshot)
 	}
 	// The unwound stack is identical for every sample of one delivery;
 	// outside a transaction it is also identical to the ground-truth
-	// stack captured before delivery, so the copy is shared.
+	// stack captured before delivery, so the backing array is shared.
 	stack := truth
 	if wasInTx {
-		stack = t.stackIPs() // rolled back: differs from truth
+		t.stackScratch = t.stackIPsInto(t.stackScratch)
+		stack = t.stackScratch // rolled back: differs from truth
 	}
 	for _, ev := range events {
 		if t.inj != nil && t.inj.DropSample(t.clock) {
@@ -456,7 +564,10 @@ func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, w
 		if t.inj != nil {
 			now = t.inj.SkewTime(now)
 		}
-		s := &Sample{
+		// One Sample struct per thread, reused across deliveries; the
+		// handler contract (see Sample) lets retaining handlers Clone.
+		s := &t.sampleScratch
+		*s = Sample{
 			Event:      ev,
 			TID:        t.ID,
 			Time:       now,
@@ -474,12 +585,10 @@ func (t *Thread) deliverSamples(events []pmu.Event, ip lbr.IP, truth []lbr.IP, w
 			s.Abort = &t.lastAbort
 		}
 		t.samplesDelivered++
-		if t.m.cfg.Trace != nil {
-			t.m.cfg.Trace.Emit(telemetry.Event{
-				Kind: telemetry.KindInterrupt, TS: t.clock, TID: int32(t.ID),
-				Arg: uint64(ev), Name: pmiEventNames[ev],
-			})
-		}
+		t.TraceEvent(telemetry.Event{
+			Kind: telemetry.KindInterrupt, TS: t.clock, TID: int32(t.ID),
+			Arg: uint64(ev), Name: pmiEventNames[ev],
+		})
 		t.m.handler.HandleSample(s)
 		t.clock += t.m.cfg.HandlerCost
 	}
@@ -501,7 +610,7 @@ func (t *Thread) Compute(n int) {
 // Load reads the word at a, transactionally when a transaction is
 // active.
 func (t *Thread) Load(a mem.Addr) mem.Word {
-	t.startOp()
+	t.startShared()
 	var v mem.Word
 	var cost uint64
 	if t.tx != nil {
@@ -528,7 +637,7 @@ func (t *Thread) Load(a mem.Addr) mem.Word {
 // Store writes v to the word at a, transactionally when a transaction
 // is active (the store is buffered until commit).
 func (t *Thread) Store(a mem.Addr, v mem.Word) {
-	t.startOp()
+	t.startShared()
 	var cost uint64
 	if t.tx != nil {
 		t.m.HTM.Write(t.tx, a, v)
@@ -557,7 +666,7 @@ func (t *Thread) Add(a mem.Addr, d int64) mem.Word {
 // locked operation. Inside a transaction it behaves like a normal
 // read-modify-write on the write set.
 func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
-	t.startOp()
+	t.startShared()
 	var ok bool
 	var cost uint64
 	if t.tx != nil {
@@ -589,7 +698,7 @@ func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
 // AtomicAdd atomically adds d to the word at a and returns the new
 // value.
 func (t *Thread) AtomicAdd(a mem.Addr, d int64) mem.Word {
-	t.startOp()
+	t.startShared()
 	var v mem.Word
 	var cost uint64
 	if t.tx != nil {
@@ -691,7 +800,7 @@ const MaxTxNest = 7
 // MaxTxNest aborts. Most callers want Attempt or the rtm package
 // instead.
 func (t *Thread) TxBegin() {
-	t.startOp()
+	t.startShared()
 	var cost uint64
 	if t.tx != nil {
 		t.txNest++
@@ -715,13 +824,15 @@ func (t *Thread) TxBegin() {
 // buffered stores to memory, or unwinds if it was doomed at the commit
 // point. A nested commit only decrements the flattened nesting depth.
 func (t *Thread) TxCommit() {
+	// startOp first: the gate must be held (sharded) before reading
+	// t.tx.Doomed, which a concurrent thread's conflicting access may
+	// set from its own gated operation.
+	t.startOp()
 	if t.tx != nil && !t.tx.Doomed && t.txNest > 0 {
-		t.startOp()
 		t.txNest--
 		t.endOp(opMeta{}, t.m.cfg.Costs.TxEnd/4)
 		return
 	}
-	t.startOp()
 	if t.tx == nil {
 		panic("machine: TxCommit outside a transaction")
 	}
@@ -731,12 +842,10 @@ func (t *Thread) TxCommit() {
 			t.m.Mem.Store(a, v)
 		}
 		t.commits++
-		if t.m.cfg.Trace != nil {
-			t.m.cfg.Trace.Emit(telemetry.Event{
-				Kind: telemetry.KindTx, TS: t.tx.StartCycle,
-				Dur: t.clock - t.tx.StartCycle, TID: int32(t.ID),
-			})
-		}
+		t.TraceEvent(telemetry.Event{
+			Kind: telemetry.KindTx, TS: t.tx.StartCycle,
+			Dur: t.clock - t.tx.StartCycle, TID: int32(t.ID),
+		})
 		t.tx = nil
 		cost = t.m.cfg.Costs.TxEnd
 	}

@@ -1,0 +1,169 @@
+package profile
+
+// Cross-database merging: the same commutative fold the fleet daemon
+// applies to ingested shards, exposed as a library so any tool holding
+// several databases (shards of one campaign, per-node uploads, repeated
+// runs) can coalesce them. Every combining operation is commutative
+// and associative and the rendered child order is canonical, so a
+// merge is a pure function of the database multiset — worker count and
+// reduction order never change a byte of the result.
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Merge folds other into db in place: metric totals, data-quality
+// counters, per-thread histograms, and the calling-context tree sum;
+// thread counts and sampling periods take maxima; program names union
+// (joined with "+" in sorted order); a merge involving a partial
+// profile is partial. Children of every merged CCT node are re-sorted
+// into canonical (fn, site) order. The telemetry self-report is
+// dropped — self-metrics describe one profiling process and do not
+// combine. other is left untouched.
+func (db *Database) Merge(other *Database) {
+	db.Program = mergePrograms(db.Program, other.Program)
+	if other.Threads > db.Threads {
+		db.Threads = other.Threads
+	}
+	for i, p := range other.Periods {
+		if p > db.Periods[i] {
+			db.Periods[i] = p
+		}
+	}
+	db.Totals.Merge(&other.Totals)
+	db.Quality.Merge(other.Quality)
+	db.Partial = db.Partial || other.Partial
+	db.Telemetry = nil
+
+	byTID := make(map[int]int, len(db.PerThread))
+	for i, t := range db.PerThread {
+		byTID[t.TID] = i
+	}
+	for _, t := range other.PerThread {
+		if i, ok := byTID[t.TID]; ok {
+			db.PerThread[i].CommitSamples += t.CommitSamples
+			db.PerThread[i].AbortSamples += t.AbortSamples
+		} else {
+			byTID[t.TID] = len(db.PerThread)
+			db.PerThread = append(db.PerThread, t)
+		}
+	}
+	sort.Slice(db.PerThread, func(i, j int) bool { return db.PerThread[i].TID < db.PerThread[j].TID })
+
+	switch {
+	case db.Root == nil:
+		db.Root = cloneNode(other.Root)
+	case other.Root != nil:
+		mergeNodes(db.Root, other.Root)
+	}
+}
+
+// mergePrograms unions two "+"-joined program-name sets.
+func mergePrograms(a, b string) string {
+	if a == b || b == "" {
+		return a
+	}
+	if a == "" {
+		return b
+	}
+	set := make(map[string]struct{})
+	for _, s := range strings.Split(a, "+") {
+		set[s] = struct{}{}
+	}
+	for _, s := range strings.Split(b, "+") {
+		set[s] = struct{}{}
+	}
+	names := make([]string, 0, len(set))
+	for s := range set {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+func cloneNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	out := &Node{Fn: n.Fn, Site: n.Site, Metrics: n.Metrics}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, cloneNode(c))
+	}
+	sortChildren(out)
+	return out
+}
+
+type frameKey struct{ fn, site string }
+
+func mergeNodes(dst, src *Node) {
+	dst.Metrics.Merge(&src.Metrics)
+	if len(src.Children) > 0 {
+		idx := make(map[frameKey]*Node, len(dst.Children))
+		for _, c := range dst.Children {
+			idx[frameKey{c.Fn, c.Site}] = c
+		}
+		for _, sc := range src.Children {
+			if dc, ok := idx[frameKey{sc.Fn, sc.Site}]; ok {
+				mergeNodes(dc, sc)
+			} else {
+				dst.Children = append(dst.Children, cloneNode(sc))
+			}
+		}
+	}
+	sortChildren(dst)
+}
+
+func sortChildren(n *Node) {
+	sort.Slice(n.Children, func(i, j int) bool {
+		a, b := n.Children[i], n.Children[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		return a.Site < b.Site
+	})
+}
+
+// MergeAll coalesces dbs into a single database with a parallel
+// pairwise tree reduction: each round merges disjoint pairs across at
+// most workers goroutines (0 = GOMAXPROCS), halving the set until one
+// remains. Pairs are disjoint, so workers never contend, and the fold
+// is commutative, so the result is byte-identical for every worker
+// count. The input databases are consumed as scratch (the survivor is
+// returned, the rest are mutated); nil for an empty slice. A
+// single-element slice is returned as-is, un-canonicalized.
+func MergeAll(dbs []*Database, workers int) *Database {
+	if len(dbs) == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cur := append([]*Database(nil), dbs...)
+	for len(cur) > 1 {
+		pairs := len(cur) / 2
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < pairs; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				cur[2*i].Merge(cur[2*i+1])
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+		next := make([]*Database, 0, (len(cur)+1)/2)
+		for i := 0; i < pairs; i++ {
+			next = append(next, cur[2*i])
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}

@@ -172,8 +172,12 @@ type Lock struct {
 
 	overheadCycles int // software bookkeeping burned per attempt
 
-	// Adaptive-policy state, mutated only by the simulated threads,
-	// which the lockstep scheduler serializes.
+	// Adaptive-policy state, mutated only by the simulated threads.
+	// All cross-thread reads and writes of this state (and of Stats)
+	// happen inside machine.Thread.Exclusive sections, which the
+	// scheduler orders at the thread's canonical position — the serial
+	// scheduler's for-free ordering, made explicit so the sharded
+	// scheduler preserves it.
 	ambientStreak int  // consecutive ambient aborts since last commit
 	storming      bool // storm mode active
 }
@@ -218,7 +222,7 @@ func (l *Lock) emit(t *machine.Thread, kind EventKind) {
 	if l.Sink == nil {
 		return
 	}
-	l.Sink.TxEvent(t, kind)
+	t.Exclusive(func() { l.Sink.TxEvent(t, kind) })
 	if c := l.Sink.PerEventCost(); c > 0 {
 		t.Compute(c)
 	}
@@ -286,32 +290,43 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			t.Compute(l.overheadCycles)
 			l.emit(t, EventCommit)
 			t.State = 0
-			l.Stats.Commits++
-			l.noteOutcome(true, htm.None)
+			t.Exclusive(func() {
+				l.Stats.Commits++
+				l.noteOutcome(true, htm.None)
+			})
 			return
 		}
 
 		l.emit(t, EventAbort)
-		l.Stats.Aborts[abort.Cause]++
-		l.noteOutcome(false, abort.Cause)
+		lockHeldAbort := sawLockHeld && abort.Cause == htm.Explicit
+		var budget int
+		var storm bool
+		t.Exclusive(func() {
+			l.Stats.Aborts[abort.Cause]++
+			l.noteOutcome(false, abort.Cause)
+			if lockHeldAbort {
+				l.Stats.LockBusy++
+			}
+			budget = l.maxRetries()
+			storm = l.storming
+		})
 		switch {
-		case sawLockHeld && abort.Cause == htm.Explicit:
-			l.Stats.LockBusy++
+		case lockHeldAbort:
 			lockBusy++
 			if lockBusy <= l.Policy.MaxLockBusy {
 				continue // wait for the lock and try again
 			}
-		case abort.Cause.Retryable() && retries < l.maxRetries():
+		case abort.Cause.Retryable() && retries < budget:
 			retries++
-			l.backoff(t, retries)
+			l.backoff(t, retries, storm)
 			continue
-		case abort.Cause == htm.Capacity && l.Policy.RetryOnCapacity && retries < l.maxRetries():
+		case abort.Cause == htm.Capacity && l.Policy.RetryOnCapacity && retries < budget:
 			retries++
-			l.backoff(t, retries)
+			l.backoff(t, retries, storm)
 			continue
 		}
-		if l.storming {
-			l.Stats.StormFallbacks++
+		if storm {
+			t.Exclusive(func() { l.Stats.StormFallbacks++ })
 		}
 		break // persistent abort or retries exhausted: fall back
 	}
@@ -326,31 +341,29 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			t.Compute(2)
 		}
 	}
-	tr := t.Machine().Tracer()
 	held := t.Clock() // lock acquired; the serialization span begins
 	t.State = InCS | InFallback
 	body()
 	t.State = InCS | InOverhead
 	t.Store(l.Addr, 0) // release
-	if tr.Enabled() {
-		tr.Emit(telemetry.Event{
-			Kind: telemetry.KindSpan, TS: held, Dur: t.Clock() - held,
-			TID: int32(t.ID), Name: "fallback-lock",
-		})
-	}
+	t.TraceEvent(telemetry.Event{
+		Kind: telemetry.KindSpan, TS: held, Dur: t.Clock() - held,
+		TID: int32(t.ID), Name: "fallback-lock",
+	})
 	l.emit(t, EventFallback)
 	t.State = 0
-	l.Stats.Fallbacks++
+	t.Exclusive(func() { l.Stats.Fallbacks++ })
 }
 
 // backoff burns a randomized, exponentially growing pause before a
-// conflict retry; the state word shows transaction overhead.
-func (l *Lock) backoff(t *machine.Thread, retries int) {
+// conflict retry; the state word shows transaction overhead. storming
+// is the storm flag as observed in the caller's Exclusive section.
+func (l *Lock) backoff(t *machine.Thread, retries int, storming bool) {
 	if l.Policy.BackoffBase <= 0 {
 		return
 	}
 	window := l.Policy.BackoffBase << uint(retries-1)
-	if l.storming {
+	if storming {
 		window <<= 2 // desynchronize harder while the storm lasts
 	}
 	t.State = InCS | InOverhead
@@ -379,10 +392,10 @@ func (l *Lock) RunHLE(t *machine.Thread, body func()) {
 		})
 		if abort == nil {
 			t.State = 0
-			l.Stats.Commits++
+			t.Exclusive(func() { l.Stats.Commits++ })
 			return
 		}
-		l.Stats.Aborts[abort.Cause]++
+		t.Exclusive(func() { l.Stats.Aborts[abort.Cause]++ })
 		// HLE retries by grabbing the real lock immediately.
 		t.State = InCS | InLockWaiting
 		for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
@@ -395,7 +408,7 @@ func (l *Lock) RunHLE(t *machine.Thread, body func()) {
 		t.State = InCS | InOverhead
 		t.Store(l.Addr, 0)
 		t.State = 0
-		l.Stats.Fallbacks++
+		t.Exclusive(func() { l.Stats.Fallbacks++ })
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -99,6 +100,25 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	t.mu.Lock()
+	t.emitLocked(ev)
+	t.mu.Unlock()
+}
+
+// EmitBatch records a batch of events under one lock acquisition —
+// the bulk path instrumented threads use to amortize the ring mutex
+// across a whole quantum of buffered events.
+func (t *Tracer) EmitBatch(evs []Event) {
+	if t == nil || len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	for _, ev := range evs {
+		t.emitLocked(ev)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) emitLocked(ev Event) {
 	if !t.full && len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 	} else {
@@ -110,7 +130,6 @@ func (t *Tracer) Emit(ev Event) {
 		}
 		t.dropped++
 	}
-	t.mu.Unlock()
 }
 
 // BeginPhase opens a named phase span on the analyzer track,
@@ -229,11 +248,23 @@ func (e Event) chromeName() string {
 }
 
 // WriteChromeTrace exports the buffered events as Chrome trace-event
-// JSON (the format chrome://tracing and Perfetto load). The output is
-// a pure function of the buffered events: byte-identical for
-// identical event streams.
+// JSON (the format chrome://tracing and Perfetto load). Events are
+// stably ordered by (timestamp, track, thread) before encoding, so
+// the output is a pure function of the buffered event multiset —
+// byte-identical no matter how per-thread batches interleaved in the
+// ring.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if ap, bp := a.Kind.pid(), b.Kind.pid(); ap != bp {
+			return ap < bp
+		}
+		return a.TID < b.TID
+	})
 	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events)+8)}
 	// Name the process tracks so the viewer groups them sensibly.
 	for _, meta := range []struct {
