@@ -64,7 +64,7 @@ func TestChaosRegimes(t *testing.T) {
 	if got := clean.Report.Quality.Degraded(); got != 0 {
 		t.Fatalf("fault-free run reports degradation: %d (%+v)", got, clean.Report.Quality)
 	}
-	cTx, cFb, cWait, cOh := clean.Report.TimeShares()
+	cTx, cStm, cFb, cWait, cOh := clean.Report.TimeShares()
 	cleanRcs := clean.Report.Rcs()
 
 	for _, name := range faults.PresetNames() {
@@ -93,13 +93,14 @@ func TestChaosRegimes(t *testing.T) {
 			// (c) Classification stays within 10 points of baseline:
 			// ambient faults may cost samples but must not reshuffle
 			// where the profiler says the time went.
-			tx, fb, wait, oh := res.Report.TimeShares()
+			tx, stm, fb, wait, oh := res.Report.TimeShares()
 			for _, d := range []struct {
 				name      string
 				got, want float64
 			}{
 				{"r_cs", res.Report.Rcs(), cleanRcs},
 				{"tx-share", tx, cTx},
+				{"stm-share", stm, cStm},
 				{"fallback-share", fb, cFb},
 				{"wait-share", wait, cWait},
 				{"overhead-share", oh, cOh},

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"txsampler/internal/experiments"
@@ -52,10 +53,15 @@ func main() {
 		shardTO  = flag.Duration("shard-timeout", 0, "with -sweep: per-shard deadline (0 = none)")
 		crashAt  = flag.Int("crash-after-shards", 0, "with -sweep: exit(137) after N shards complete (crash-recovery testing)")
 		dbgAddr  = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address")
+		hybrid   = flag.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
 	)
 	flag.Parse()
 	if *parallel < 1 {
 		log.Fatalf("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	hpol, err := machine.ParseHybridPolicy(*hybrid)
+	if err != nil {
+		log.Fatalf("experiments: %v", err)
 	}
 	if *dbgAddr != "" {
 		srv, err := telemetry.ServeDebug(*dbgAddr, nil)
@@ -69,6 +75,7 @@ func main() {
 	defer stop()
 	experiments.Parallel = *parallel
 	experiments.Context = ctx
+	experiments.Hybrid = hpol
 	w := os.Stdout
 
 	if *sweep != "" {
@@ -81,7 +88,7 @@ func main() {
 		}
 		rep, err := experiments.ProfileCampaign(w, experiments.CampaignConfig{
 			Dir: *sweep, Workloads: names,
-			Threads: *threads, Seed: *seed, Seeds: *seeds,
+			Threads: *threads, Seed: *seed, Seeds: *seeds, Hybrid: hpol,
 			Resume: *resume, Retries: *retries, Timeout: *shardTO,
 			Parallel: *parallel, Context: ctx,
 			CrashAfterShards: *crashAt,

@@ -71,8 +71,15 @@ func main() {
 		fleetN   = flag.Int("fleet", 4, "with -fleet-addr: simulated fleet size (nodes)")
 		fleetWin = flag.Int("fleet-window", 0, "with -fleet-addr: aggregation window ordinal stamped on the shards")
 		netPlan  = flag.String("net-faults", "", "with -fleet-addr: network fault plan for uploads: a preset ("+strings.Join(faults.NetPresetNames(), ", ")+") or key=value pairs (see internal/faults)")
+		hybrid   = flag.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
 	)
 	flag.Parse()
+
+	hpol, err := machine.ParseHybridPolicy(*hybrid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "htmbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *dbgAddr != "" {
 		srv, err := telemetry.ServeDebug(*dbgAddr, nil)
@@ -175,7 +182,7 @@ func main() {
 		rep, err := experiments.ProfileCampaign(os.Stdout, experiments.CampaignConfig{
 			Dir: *profdir, Workloads: names,
 			Threads: *threads, Seed: *seed, Seeds: *seeds,
-			Plan: plan, Quantum: *quantum,
+			Plan: plan, Quantum: *quantum, Hybrid: hpol,
 			Resume: *resume, Retries: *retries, Timeout: *shardTO,
 			Parallel: *parallel, Context: ctx,
 			CrashAfterShards: *crashAt,
@@ -213,7 +220,7 @@ func main() {
 				if i >= len(names) {
 					return
 				}
-				lines[i], errs[i] = runOne(ctx, names[i], *threads, *seed, plan, *quantum)
+				lines[i], errs[i] = runOne(ctx, names[i], *threads, *seed, plan, *quantum, hpol)
 			}
 		}()
 	}
@@ -231,9 +238,9 @@ func main() {
 	}
 }
 
-func runOne(ctx context.Context, name string, threads int, seed int64, plan faults.Plan, quantum int) (string, error) {
+func runOne(ctx context.Context, name string, threads int, seed int64, plan faults.Plan, quantum int, hybrid machine.HybridPolicy) (string, error) {
 	res, err := txsampler.Run(name, txsampler.Options{
-		Threads: threads, Seed: seed, Faults: plan, Quantum: quantum, Context: ctx,
+		Threads: threads, Seed: seed, Faults: plan, Quantum: quantum, Hybrid: hybrid, Context: ctx,
 	})
 	if err != nil {
 		return "", err

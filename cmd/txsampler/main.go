@@ -30,6 +30,7 @@ import (
 	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
 	"txsampler/internal/lbr"
+	"txsampler/internal/machine"
 	"txsampler/internal/profile"
 	"txsampler/internal/telemetry"
 	"txsampler/internal/viewer"
@@ -52,8 +53,15 @@ func main() {
 		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing or Perfetto) of the run to this path")
 		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
 		quantum = flag.Int("quantum", 0, "scheduler run quantum in ops (0 = machine default; results are quantum-invariant)")
+		hybrid  = flag.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
 	)
 	flag.Parse()
+
+	hpol, err := machine.ParseHybridPolicy(*hybrid)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "txsampler: %v\n", err)
+		os.Exit(2)
+	}
 
 	metrics := telemetry.NewRegistry()
 	if *dbgAddr != "" {
@@ -107,7 +115,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *acc {
-		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Context: ctx})
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Hybrid: hpol, Context: ctx})
 		if err != nil {
 			if errors.Is(err, txsampler.ErrCanceled) {
 				fmt.Fprintln(os.Stderr, "txsampler: interrupted")
@@ -127,6 +135,10 @@ func main() {
 				a.TxSamplerCorrect, a.InTx, 100*float64(a.TxSamplerCorrect)/float64(a.InTx),
 				a.NaiveCorrect, a.InTx, 100*float64(a.NaiveCorrect)/float64(a.InTx))
 		}
+		if n := a.Modes.Total(); n > 0 {
+			fmt.Printf("execution-mode classification: %d/%d correct (%.1f%%)\n",
+				a.Modes.Correct(), n, 100*a.Modes.Accuracy())
+		}
 		if *output != "" && res.Report != nil {
 			if err := profile.FromReport(res.Report).Save(*output); err != nil {
 				log.Fatal(err)
@@ -141,7 +153,7 @@ func main() {
 	}
 	res, err := txsampler.Run(name, txsampler.Options{
 		Threads: *threads, Seed: *seed, Profile: !*native, Faults: plan,
-		Quantum: *quantum, Trace: tracer, Metrics: metrics, Context: ctx,
+		Quantum: *quantum, Trace: tracer, Metrics: metrics, Hybrid: hpol, Context: ctx,
 	})
 	if err != nil {
 		if errors.Is(err, txsampler.ErrCanceled) {

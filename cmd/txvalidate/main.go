@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"txsampler/internal/machine"
 	"txsampler/internal/validate"
 )
 
@@ -34,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads  = fs.Int("threads", 0, "thread count override (0 = per-program generated count)")
 		out      = fs.String("o", "", "write the JSON report to this file (default stdout)")
 		baseline = fs.String("baseline", "", "check the aggregate against this baseline file")
+		hybrid   = fs.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
+		stmBias  = fs.Bool("stm-bias", false, "generate slow-path-forcing programs (hybrid-mode classification validation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -42,8 +46,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "txvalidate: -n must be positive")
 		return 2
 	}
+	hpol, err := machine.ParseHybridPolicy(*hybrid)
+	if err != nil {
+		fmt.Fprintln(stderr, "txvalidate:", err)
+		return 2
+	}
 
-	rep, err := validate.Campaign(*n, *seed, validate.Options{Threads: *threads})
+	rep, err := validate.Campaign(*n, *seed, validate.Options{Threads: *threads, Hybrid: hpol, StmBias: *stmBias})
 	if err != nil {
 		fmt.Fprintln(stderr, "txvalidate:", err)
 		return 1

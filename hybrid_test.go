@@ -1,0 +1,121 @@
+package txsampler_test
+
+// Cross-policy equivalence suite: the same workload at the same seed
+// must compute the same result under every hybrid execution mode. For
+// deterministic-result workloads the final memory image itself must be
+// byte-identical — which also proves the software path leaves no
+// metadata residue (word locks, the active word, undo state) behind.
+
+import (
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/htmbench"
+	"txsampler/internal/machine"
+	"txsampler/internal/progen"
+)
+
+func allPolicies() []machine.HybridPolicy {
+	return []machine.HybridPolicy{
+		machine.HybridLockOnly,
+		machine.HybridStmFallback,
+		machine.HybridSerializeOnConflict,
+		machine.HybridSandboxed,
+	}
+}
+
+// runNative executes a workload natively under one policy, runs its
+// own Check, and returns the final memory fingerprint.
+func runNative(t *testing.T, w *htmbench.Workload, seed int64, pol machine.HybridPolicy) uint64 {
+	t.Helper()
+	m := machine.New(machine.Config{
+		Threads: w.DefaultThreads, Cache: txsampler.BenchCache(),
+		Seed: seed, StartSkew: 1024, Hybrid: pol,
+	})
+	inst := w.BuildInstance(m, nil)
+	if err := m.Run(inst.Bodies...); err != nil {
+		t.Fatalf("%s [%v]: %v", w.Name, pol, err)
+	}
+	if inst.Check != nil {
+		if err := inst.Check(m); err != nil {
+			t.Fatalf("%s [%v]: result check failed: %v", w.Name, pol, err)
+		}
+	}
+	return m.Mem.Fingerprint()
+}
+
+// TestHybridPoliciesProgenEquivalence runs generated programs — both
+// the default mix and the slow-path-forcing STM bias — under all four
+// policies. A generated program's check pins every program word, so
+// fingerprint equality on top of it is precisely the no-metadata-residue
+// assertion.
+func TestHybridPoliciesProgenEquivalence(t *testing.T) {
+	for _, bias := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			p := progen.Generate(progen.Config{Seed: seed, StmBias: bias})
+			w := p.Workload()
+			base := runNative(t, w, seed, machine.HybridLockOnly)
+			for _, pol := range allPolicies()[1:] {
+				if fp := runNative(t, w, seed, pol); fp != base {
+					t.Errorf("%s: final memory under %v differs from lock-only (%#x vs %#x)",
+						p.Name, pol, fp, base)
+				}
+			}
+		}
+	}
+}
+
+// equivalenceWorkloads is the HTMBench subset whose final memory is a
+// pure function of the committed operations (no order-dependent layout
+// like tree shapes or arrival-order logs), so the image must be
+// byte-identical across execution modes, not merely check-clean.
+var equivalenceWorkloads = []string{
+	"micro/low-abort",
+	"micro/true-sharing",
+	"micro/false-sharing",
+	"micro/capacity",
+	"micro/sync-abort",
+	"micro/deep-calls",
+	"micro/mixed",
+	"clomp/small-1",
+	"clomp/small-2",
+	"clomp/small-3",
+	"app/hle-counter",
+	"parboil/histo-1",
+	"splash2/water",
+}
+
+func TestHybridPoliciesWorkloadEquivalence(t *testing.T) {
+	for _, name := range equivalenceWorkloads {
+		w, err := htmbench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			base := runNative(t, w, 1, machine.HybridLockOnly)
+			for _, pol := range allPolicies()[1:] {
+				if fp := runNative(t, w, 1, pol); fp != base {
+					t.Errorf("final memory under %v differs from lock-only (%#x vs %#x)", pol, fp, base)
+				}
+			}
+		})
+	}
+}
+
+// TestHybridPoliciesProfiledRunChecks drives one contended workload
+// through the full profiled pipeline under every policy: the workload
+// check and the profiler must both be happy with the software path's
+// samples in the stream.
+func TestHybridPoliciesProfiledRunChecks(t *testing.T) {
+	for _, pol := range allPolicies() {
+		res, err := txsampler.Run("micro/true-sharing", txsampler.Options{
+			Seed: 2, Profile: true, Hybrid: pol,
+		})
+		if err != nil {
+			t.Fatalf("[%v]: %v", pol, err)
+		}
+		if res.Report == nil {
+			t.Fatalf("[%v]: no report", pol)
+		}
+	}
+}

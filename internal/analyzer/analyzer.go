@@ -152,11 +152,31 @@ func mergeMetrics(dst, src *core.Metrics) { dst.Merge(src) }
 // (paper §7.3). Zero when no cycles samples were taken.
 func (r *Report) Rcs() float64 { return ratio(r.Totals.T, r.Totals.W) }
 
-// TimeShares returns the shares of T spent in the transaction path,
-// fallback path, lock waiting, and transaction overhead (Equation 2).
-func (r *Report) TimeShares() (tx, fb, wait, oh float64) {
+// TimeShares returns the shares of T spent in the hardware
+// transaction path, the instrumented software-transaction path, the
+// fallback path, lock waiting, and transaction overhead (Equation 2
+// extended with the hybrid-TM stm bucket; stm is zero under the
+// lock-only policy).
+func (r *Report) TimeShares() (tx, stm, fb, wait, oh float64) {
 	t := r.Totals
-	return ratio(t.Ttx, t.T), ratio(t.Tfb, t.T), ratio(t.Twait, t.T), ratio(t.Toh, t.T)
+	return ratio(t.Ttx, t.T), ratio(t.Tstm, t.T), ratio(t.Tfb, t.T),
+		ratio(t.Twait, t.T), ratio(t.Toh, t.T)
+}
+
+// StmOverhead returns the instrumentation-overhead ratio of the
+// hybrid-TM slow path: cycles samples in instrumented software
+// transactions per cycles sample in hardware transactions (stm ÷ htm).
+// Zero when no software transactions ran; large values mean the
+// workload pays heavily for STM coexistence (the HyTM cost both
+// Alistarh et al. and Brown & Ravi bound from below).
+func (r *Report) StmOverhead() float64 {
+	return ratio(r.Totals.Tstm, r.Totals.Ttx)
+}
+
+// TopStmOverhead ranks contexts by instrumented-software-path samples
+// — the call paths paying the most STM instrumentation cost.
+func (r *Report) TopStmOverhead(k int) []HotContext {
+	return r.TopBy(k, func(m *core.Metrics) uint64 { return m.Tstm })
 }
 
 // AbortCommitRatio returns r_a/c over sampled application aborts and
@@ -399,9 +419,13 @@ func (r *Report) Render(w io.Writer) {
 	t := r.Totals
 	fmt.Fprintf(w, "=== TxSampler report: %s (%d threads) ===\n", r.Program, r.Threads)
 	fmt.Fprintf(w, "samples: W=%d T=%d (r_cs=%.2f)\n", t.W, t.T, r.Rcs())
-	tx, fb, wait, oh := r.TimeShares()
+	tx, stm, fb, wait, oh := r.TimeShares()
 	fmt.Fprintf(w, "time in CS: tx=%.1f%% fallback=%.1f%% lock-wait=%.1f%% overhead=%.1f%%\n",
 		100*tx, 100*fb, 100*wait, 100*oh)
+	if t.Tstm > 0 {
+		fmt.Fprintf(w, "hybrid: stm=%.1f%% of CS; instrumentation overhead stm/htm=%.2f\n",
+			100*stm, r.StmOverhead())
+	}
 	fmt.Fprintf(w, "aborts/commits (sampled, scaled): ratio=%.3f mean-weight=%.0f\n",
 		r.AbortCommitRatio(), r.MeanAbortWeight())
 	fmt.Fprintf(w, "abort weight shares: conflict=%.1f%% capacity=%.1f%% sync=%.1f%%\n",
@@ -434,6 +458,15 @@ func (r *Report) Render(w io.Writer) {
 		fmt.Fprintf(w, "hottest CS contexts:\n")
 		for _, h := range hot {
 			fmt.Fprintf(w, "  %s (T=%d)\n", h.Path(), h.Metrics.T)
+		}
+	}
+	if t.Tstm > 0 {
+		if hot := r.TopStmOverhead(3); len(hot) > 0 {
+			fmt.Fprintf(w, "hottest instrumented (stm) contexts:\n")
+			for _, h := range hot {
+				fmt.Fprintf(w, "  %s (stm=%d htm=%d stm/htm=%.2f)\n",
+					h.Path(), h.Metrics.Tstm, h.Metrics.Ttx, ratio(h.Metrics.Tstm, h.Metrics.Ttx))
+			}
 		}
 	}
 }

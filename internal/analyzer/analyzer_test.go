@@ -66,18 +66,22 @@ func periods(cycles, abort, commit uint64) pmu.Periods {
 
 func TestRcsAndShares(t *testing.T) {
 	c := core.NewCollector(1, periods(100, 1, 1), 0)
-	feed(c, 0, 60, 0, false, "main")                         // S
+	feed(c, 0, 55, 0, false, "main")                         // S
 	feed(c, 0, 10, rtm.InCS, true, "main", "tm_begin")       // Ttx
+	feed(c, 0, 5, rtm.InCS|rtm.InSTM, false, "main")         // Tstm
 	feed(c, 0, 20, rtm.InCS|rtm.InFallback, false, "main")   // Tfb
 	feed(c, 0, 5, rtm.InCS|rtm.InLockWaiting, false, "main") // Twait
 	feed(c, 0, 5, rtm.InCS|rtm.InOverhead, false, "main")    // Toh
 	r := Analyze("synthetic", c)
-	if got := r.Rcs(); got != 0.4 {
-		t.Errorf("Rcs = %v, want 0.4", got)
+	if got := r.Rcs(); got != 0.45 {
+		t.Errorf("Rcs = %v, want 0.45", got)
 	}
-	tx, fb, wait, oh := r.TimeShares()
-	if tx != 0.25 || fb != 0.5 || wait != 0.125 || oh != 0.125 {
-		t.Errorf("shares = %v %v %v %v", tx, fb, wait, oh)
+	tx, stm, fb, wait, oh := r.TimeShares()
+	if tx != 10.0/45 || stm != 5.0/45 || fb != 20.0/45 || wait != 5.0/45 || oh != 5.0/45 {
+		t.Errorf("shares = %v %v %v %v %v", tx, stm, fb, wait, oh)
+	}
+	if got := r.StmOverhead(); got != 0.5 {
+		t.Errorf("StmOverhead = %v, want 0.5", got)
 	}
 }
 

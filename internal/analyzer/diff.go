@@ -103,9 +103,10 @@ func RenderDiff(w io.Writer, before, after *Report, k int) {
 	row("abort/commit", clampRatio(before.AbortCommitRatio()), clampRatio(after.AbortCommitRatio()), "")
 	row("mean abort weight", before.MeanAbortWeight(), after.MeanAbortWeight(), "cycles")
 	row("wasted work", before.WastedWorkShare(), after.WastedWorkShare(), "share")
-	btx, bfb, bwait, boh := before.TimeShares()
-	atx, afb, await, aoh := after.TimeShares()
+	btx, bstm, bfb, bwait, boh := before.TimeShares()
+	atx, astm, afb, await, aoh := after.TimeShares()
 	row("T_tx share", btx, atx, "")
+	row("T_stm share", bstm, astm, "")
 	row("T_fb share", bfb, afb, "")
 	row("T_wait share", bwait, await, "")
 	row("T_oh share", boh, aoh, "")

@@ -3,6 +3,8 @@ package core
 import (
 	"txsampler/internal/lbr"
 	"txsampler/internal/machine"
+	"txsampler/internal/pmu"
+	"txsampler/internal/rtm"
 )
 
 // Accuracy quantifies the paper's §9 comparison against conventional
@@ -29,6 +31,65 @@ type Accuracy struct {
 	// none of them (it cannot distinguish transaction from fallback
 	// path, Challenge I).
 	PathDetected uint64
+
+	// Modes is the execution-mode confusion matrix over cycles
+	// samples taken inside critical sections: ground-truth mode
+	// (machine's exact in-transaction knowledge plus the live state
+	// word) versus the mode the profiler's classification derives
+	// from the LBR abort bit and the sampled state word.
+	Modes ModeMatrix
+}
+
+// ModeMatrix is a confusion matrix over rtm.Mode: Counts[truth][got]
+// accumulates cycles samples whose ground-truth execution mode was
+// `truth` and which the profiler classified as `got`. Off-diagonal
+// mass is fault-driven (LBR corruption losing the abort bit) or
+// structural misclassification.
+type ModeMatrix struct {
+	Counts [rtm.NumModes][rtm.NumModes]uint64
+}
+
+// Observe records one classified sample.
+func (m *ModeMatrix) Observe(truth, got rtm.Mode) { m.Counts[truth][got]++ }
+
+// Total returns the number of observations.
+func (m *ModeMatrix) Total() uint64 {
+	var n uint64
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			n += m.Counts[i][j]
+		}
+	}
+	return n
+}
+
+// Correct returns the diagonal mass: samples classified into their
+// true mode.
+func (m *ModeMatrix) Correct() uint64 {
+	var n uint64
+	for i := range m.Counts {
+		n += m.Counts[i][i]
+	}
+	return n
+}
+
+// Accuracy returns Correct/Total, or 1 with no observations (nothing
+// was misclassified).
+func (m *ModeMatrix) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(m.Correct()) / float64(t)
+}
+
+// Merge accumulates src into m.
+func (m *ModeMatrix) Merge(src *ModeMatrix) {
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			m.Counts[i][j] += src.Counts[i][j]
+		}
+	}
 }
 
 // AccuracyProbe wraps a collector, scoring attribution accuracy while
@@ -46,6 +107,17 @@ func NewAccuracyProbe(c *Collector) *AccuracyProbe {
 // HandleSample implements machine.SampleHandler.
 func (p *AccuracyProbe) HandleSample(s *machine.Sample) {
 	p.Accuracy.Total++
+	if s.Event == pmu.Cycles {
+		// Execution-mode classification check (hybrid-TM four-way
+		// split). Ground truth combines the machine's exact hardware
+		// in-transaction knowledge with the live state word; the
+		// profiler only has the LBR abort bit in place of the former.
+		truth := rtm.ModeOf(s.State, s.TruthInTx)
+		got := rtm.ModeOf(s.State, len(s.LBR) > 0 && s.LBR[0].Abort)
+		if truth != rtm.ModeNone || got != rtm.ModeNone {
+			p.Accuracy.Modes.Observe(truth, got)
+		}
+	}
 	if s.TruthInTx {
 		p.Accuracy.InTx++
 		frames, inTx, _ := p.Collector.context(s)

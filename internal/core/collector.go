@@ -40,10 +40,15 @@ var BeginInTx = lbr.IP{Fn: "begin_in_tx"}
 // cycles-event samples; multiply by the cycles sampling period to
 // estimate cycles (the analyzer does this).
 type Metrics struct {
-	// Figure 4 time decomposition, in cycles samples.
+	// Figure 4 time decomposition, in cycles samples. Tstm extends
+	// the paper's four-way split with the hybrid-TM software slow
+	// path: samples whose state word carries rtm.InSTM — instrumented
+	// execution, the numerator of the per-path instrumentation
+	// overhead metric (Tstm ÷ Ttx).
 	W     uint64 // work: every cycles sample
 	T     uint64 // samples inside critical sections
 	Ttx   uint64 // … in the transaction path (LBR abort bit)
+	Tstm  uint64 // … in the instrumented software-transaction path
 	Tfb   uint64 // … in the fallback path
 	Twait uint64 // … waiting for the global lock
 	Toh   uint64 // … in transaction begin/retry/cleanup overhead
@@ -81,6 +86,7 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.W += src.W
 	m.T += src.T
 	m.Ttx += src.Ttx
+	m.Tstm += src.Tstm
 	m.Tfb += src.Tfb
 	m.Twait += src.Twait
 	m.Toh += src.Toh
@@ -420,6 +426,9 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 			case inTx:
 				m.Ttx++
 				p.Totals.Ttx++
+			case rtm.IsInSTM(s.State):
+				m.Tstm++
+				p.Totals.Tstm++
 			case rtm.IsInFallback(s.State):
 				m.Tfb++
 				p.Totals.Tfb++

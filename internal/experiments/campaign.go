@@ -18,6 +18,7 @@ import (
 	"txsampler"
 	"txsampler/internal/campaign"
 	"txsampler/internal/faults"
+	"txsampler/internal/machine"
 	"txsampler/internal/profile"
 	"txsampler/internal/telemetry"
 )
@@ -45,6 +46,9 @@ type CampaignConfig struct {
 	// faults.Plan.MachineOnly) — it tears the artifact write instead.
 	Plan    faults.Plan
 	Quantum int
+	// Hybrid selects the slow-path execution mode of every workload
+	// lock; part of the shard identity (it changes the profile bytes).
+	Hybrid machine.HybridPolicy
 	// Resume replays Dir's journal and skips shards whose artifacts
 	// verify; false starts a fresh journal (artifacts are overwritten as
 	// their shards complete).
@@ -103,7 +107,7 @@ func ProfileCampaign(w io.Writer, c CampaignConfig) (*campaign.Report, error) {
 	// the machine-visible fault plan and the database format version.
 	// Quantum and Parallel stay out — results are invariant to both —
 	// and so does the crash-write offset, a storage-layer fault.
-	confighash := campaign.Hash(c.Plan.MachineOnly().String(), strconv.Itoa(profile.FormatVersion))
+	confighash := campaign.Hash(c.Plan.MachineOnly().String(), strconv.Itoa(profile.FormatVersion), c.Hybrid.String())
 
 	lines := make([]string, len(c.Workloads)*c.Seeds)
 	shards := make([]campaign.Shard, 0, len(lines))
@@ -121,7 +125,7 @@ func ProfileCampaign(w io.Writer, c CampaignConfig) (*campaign.Report, error) {
 				Run: func(ctx context.Context) error {
 					opt := txsampler.Options{
 						Threads: c.Threads, Seed: seed, Profile: true,
-						Faults: c.Plan, Quantum: c.Quantum, Context: ctx,
+						Faults: c.Plan, Quantum: c.Quantum, Hybrid: c.Hybrid, Context: ctx,
 					}
 					res, err := txsampler.Run(name, opt)
 					if err != nil {

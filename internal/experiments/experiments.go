@@ -23,6 +23,7 @@ import (
 	"txsampler/internal/decision"
 	"txsampler/internal/htm"
 	"txsampler/internal/htmbench"
+	"txsampler/internal/machine"
 	"txsampler/internal/tsxprof"
 )
 
@@ -38,6 +39,11 @@ var Parallel = runtime.GOMAXPROCS(0)
 // runs stop at their next quantum boundary and pending ones never
 // start. The sweep then returns an error wrapping machine.ErrCanceled.
 var Context context.Context
+
+// Hybrid selects the slow-path execution mode of every workload lock
+// in the sweeps (zero = lock-only, the classic global-lock fallback).
+// It is part of each run's identity: changing it changes the results.
+var Hybrid machine.HybridPolicy
 
 // ctxOrBackground returns the package cancellation context.
 func ctxOrBackground() context.Context {
@@ -194,7 +200,7 @@ func overheadRow(name string, threads int, seed int64) (Fig5Row, error) {
 		ov        float64
 	}
 	results, err := mapIndexed(runs, func(i int) (run, error) {
-		native, profiled, ov, err := txsampler.Overhead(name, txsampler.Options{Threads: threads, Seed: seed + int64(i), Context: Context})
+		native, profiled, ov, err := txsampler.Overhead(name, txsampler.Options{Threads: threads, Seed: seed + int64(i), Hybrid: Hybrid, Context: Context})
 		if err != nil {
 			return run{}, err
 		}
@@ -247,7 +253,7 @@ func Fig7(w io.Writer, threads int, seed int64) ([]ClompRow, error) {
 	cfgs := htmbench.ClompConfigs()
 	rows, err := mapIndexed(len(cfgs), func(i int) (ClompRow, error) {
 		name := htmbench.ClompName(cfgs[i])
-		res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
+		res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Hybrid: Hybrid, Context: Context})
 		if err != nil {
 			return ClompRow{}, err
 		}
@@ -320,7 +326,7 @@ func Fig8(w io.Writer, threads int, seed int64) ([]Fig8Row, error) {
 	}
 	rows, err := mapIndexed(len(wls), func(i int) (Fig8Row, error) {
 		wl := wls[i]
-		res, err := txsampler.Run(wl.Name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
+		res, err := txsampler.Run(wl.Name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Hybrid: Hybrid, Context: Context})
 		if err != nil {
 			return Fig8Row{}, err
 		}
@@ -389,7 +395,7 @@ func Table2(w io.Writer, threads int, seed int64) ([]Table2Row, error) {
 	fmt.Fprintf(w, "=== Table 2: optimization overview (%d threads) ===\n", threads)
 	rows := Table2Pairs()
 	speedups, err := mapIndexed(len(rows), func(i int) (float64, error) {
-		return txsampler.Speedup(rows[i].Base, rows[i].Opt, txsampler.Options{Threads: threads, Seed: seed, Context: Context})
+		return txsampler.Speedup(rows[i].Base, rows[i].Opt, txsampler.Options{Threads: threads, Seed: seed, Hybrid: Hybrid, Context: Context})
 	})
 	if err != nil {
 		return nil, err
@@ -409,7 +415,7 @@ func AccuracyComparison(w io.Writer, threads int, seed int64) error {
 	fmt.Fprintf(w, "=== Attribution accuracy: TxSampler vs conventional profiler (%d threads) ===\n", threads)
 	names := []string{"parsec/dedup", "micro/deep-calls", "synchro/linkedlist", "stamp/vacation"}
 	accs, err := mapIndexed(len(names), func(i int) (txsampler.Accuracy, error) {
-		_, acc, err := txsampler.RunWithAccuracy(names[i], txsampler.Options{Threads: threads, Seed: seed, Context: Context})
+		_, acc, err := txsampler.RunWithAccuracy(names[i], txsampler.Options{Threads: threads, Seed: seed, Hybrid: Hybrid, Context: Context})
 		return acc, err
 	})
 	if err != nil {
@@ -447,7 +453,7 @@ func TSXProfComparison(w io.Writer, threads int, seed int64) error {
 // CaseStudy profiles one workload and prints its report plus the
 // decision tree walk (the §8 investigations).
 func CaseStudy(w io.Writer, name string, threads int, seed int64) (*analyzer.Report, *decision.Advice, error) {
-	res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
+	res, err := txsampler.Run(name, txsampler.Options{Threads: threads, Seed: seed, Profile: true, Hybrid: Hybrid, Context: Context})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -464,7 +470,7 @@ func MemOverhead(w io.Writer, threads int, seed int64) (maxPerThread int, err er
 	fmt.Fprintf(w, "=== Collector memory overhead (%d threads) ===\n", threads)
 	names := []string{"parsec/dedup", "stamp/vacation", "synchro/linkedlist", "app/leveldb"}
 	pers, err := mapIndexed(len(names), func(i int) (int, error) {
-		res, err := txsampler.Run(names[i], txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
+		res, err := txsampler.Run(names[i], txsampler.Options{Threads: threads, Seed: seed, Profile: true, Hybrid: Hybrid, Context: Context})
 		if err != nil {
 			return 0, err
 		}
@@ -488,7 +494,7 @@ func MemOverhead(w io.Writer, threads int, seed int64) (maxPerThread int, err er
 // thread per second, rescaled here to samples per run) by reporting
 // samples taken per thread for one workload at the default periods.
 func SamplingRate(w io.Writer, threads int, seed int64) error {
-	res, err := txsampler.Run("stamp/vacation", txsampler.Options{Threads: threads, Seed: seed, Profile: true, Context: Context})
+	res, err := txsampler.Run("stamp/vacation", txsampler.Options{Threads: threads, Seed: seed, Profile: true, Hybrid: Hybrid, Context: Context})
 	if err != nil {
 		return err
 	}

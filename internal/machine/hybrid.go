@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HybridPolicy selects the slow path a hybrid TM runtime takes when
+// hardware speculation fails: the classic global fallback lock alone,
+// or an instrumented software-transaction path with different
+// coexistence rules. The zero value is HybridLockOnly, the paper's
+// original configuration; every other policy layers the rtm package's
+// word-based undo-log STM between retry exhaustion and the lock.
+type HybridPolicy int
+
+const (
+	// HybridLockOnly: exhausted transactions serialize through the
+	// global fallback lock; no software transactions run. This is the
+	// paper's configuration and the default.
+	HybridLockOnly HybridPolicy = iota
+	// HybridStmFallback: exhausted transactions first retry as
+	// software transactions (word-granular write locks, value
+	// validation) and only take the global lock when the STM also
+	// aborts repeatedly. Hardware transactions wait for software
+	// writers to drain before starting.
+	HybridStmFallback
+	// HybridSerializeOnConflict: like HybridStmFallback, but the first
+	// software-side conflict escalates straight to the global lock
+	// instead of retrying the STM — trading instrumented retries for
+	// serialization.
+	HybridSerializeOnConflict
+	// HybridSandboxed: like HybridStmFallback, but hardware
+	// transactions do not wait for software writers to drain before
+	// speculating; they start immediately and rely on the in-tx
+	// subscription check to abort when a software writer is active,
+	// burning speculative attempts instead of waiting.
+	HybridSandboxed
+
+	numHybridPolicies
+)
+
+var hybridNames = [...]string{
+	HybridLockOnly:            "lock-only",
+	HybridStmFallback:         "stm-fallback",
+	HybridSerializeOnConflict: "serialize-on-conflict",
+	HybridSandboxed:           "sandboxed",
+}
+
+// String returns the flag spelling of the policy.
+func (h HybridPolicy) String() string {
+	if h < 0 || int(h) >= len(hybridNames) {
+		return fmt.Sprintf("HybridPolicy(%d)", int(h))
+	}
+	return hybridNames[h]
+}
+
+// Valid reports whether h is a defined policy.
+func (h HybridPolicy) Valid() bool { return h >= 0 && h < numHybridPolicies }
+
+// HybridPolicies lists every defined policy in flag spelling, for CLI
+// usage strings.
+func HybridPolicies() []string {
+	out := make([]string, len(hybridNames))
+	copy(out, hybridNames[:])
+	return out
+}
+
+// ParseHybridPolicy parses a flag spelling ("lock-only",
+// "stm-fallback", "serialize-on-conflict", "sandboxed").
+func ParseHybridPolicy(s string) (HybridPolicy, error) {
+	for i, name := range hybridNames {
+		if s == name {
+			return HybridPolicy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown hybrid policy %q (want one of %s)",
+		s, strings.Join(HybridPolicies(), ", "))
+}

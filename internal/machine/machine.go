@@ -144,6 +144,12 @@ type Config struct {
 	// Nil disables tracing; instrumented paths then pay one branch.
 	Trace *telemetry.Tracer
 
+	// Hybrid selects the hybrid-TM slow-path policy the rtm runtime
+	// applies to locks allocated on this machine (see HybridPolicy).
+	// The zero value, HybridLockOnly, is the paper's lock-only
+	// fallback.
+	Hybrid HybridPolicy
+
 	// Context, when non-nil, cancels the run cooperatively:
 	// SIGINT/SIGTERM (via signal.NotifyContext) or a per-shard
 	// deadline stops the machine at the next scheduler rendezvous — a
@@ -200,6 +206,9 @@ func (c Config) Validate() error {
 	}
 	if c.Sched < SchedAuto || c.Sched > SchedSharded {
 		return fmt.Errorf("machine: unknown scheduler mode %d", c.Sched)
+	}
+	if !c.Hybrid.Valid() {
+		return fmt.Errorf("machine: unknown hybrid policy %d", int(c.Hybrid))
 	}
 	if err := (htm.Config{Sets: d.Cache.Sets, Ways: d.Cache.Ways, MaxReadLines: d.MaxReadLines}).Validate(); err != nil {
 		return err

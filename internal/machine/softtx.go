@@ -1,0 +1,62 @@
+package machine
+
+import "txsampler/internal/mem"
+
+// SoftTx is a software-transactional-memory interposer. A runtime
+// layered above the machine (the rtm package's STM slow path) installs
+// one on a thread for the duration of an instrumented code region;
+// the machine then reports every non-transactional memory access the
+// region performs, the simulated analogue of compiler-inserted STM
+// read/write barriers.
+//
+// Hooks run outside the operation's own scheduling step and may
+// themselves perform thread operations (Compute, Exclusive, atomics);
+// the machine suppresses nested hook delivery while one is running.
+// Hooks never fire for accesses inside a hardware transaction —
+// hardware speculation subsumes the software instrumentation — nor
+// for the machine's own bookkeeping.
+//
+// OnStore may panic to unwind an aborted software transaction out of
+// the workload body; the interposer's owner is responsible for
+// recovering its own sentinel (the machine does not).
+type SoftTx interface {
+	// OnLoad is delivered after a non-transactional Load completes,
+	// with the address and the value read.
+	OnLoad(a mem.Addr, v mem.Word)
+	// OnStore is delivered before a non-transactional Store (or the
+	// write half of an atomic read-modify-write) executes. When it
+	// returns, the write proceeds.
+	OnStore(a mem.Addr)
+}
+
+// SetSoftTx installs (or, with nil, removes) the thread's software-TM
+// interposer. Installing also clears the nested-hook suppression flag,
+// so a runtime that unwound out of a hook via panic can reset cleanly.
+func (t *Thread) SetSoftTx(s SoftTx) {
+	t.soft = s
+	t.inSoftHook = false
+}
+
+// softLoad delivers a completed non-transactional load to the
+// interposer, if one is installed and we are not already inside a
+// hook.
+func (t *Thread) softLoad(a mem.Addr, v mem.Word) {
+	if t.soft == nil || t.tx != nil || t.inSoftHook {
+		return
+	}
+	t.inSoftHook = true
+	t.soft.OnLoad(a, v)
+	t.inSoftHook = false
+}
+
+// softStore delivers an impending non-transactional write to the
+// interposer. OnStore may panic (aborting software transaction); the
+// suppression flag is then reset by the owner's SetSoftTx(nil).
+func (t *Thread) softStore(a mem.Addr) {
+	if t.soft == nil || t.tx != nil || t.inSoftHook {
+		return
+	}
+	t.inSoftHook = true
+	t.soft.OnStore(a)
+	t.inSoftHook = false
+}

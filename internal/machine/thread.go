@@ -64,6 +64,12 @@ type Thread struct {
 	// it from samples. It is software state, not simulated memory.
 	State uint32
 
+	// Software-TM interposition (see SoftTx). soft receives
+	// non-transactional memory accesses while installed; inSoftHook
+	// suppresses nested delivery while a hook runs.
+	soft       SoftTx
+	inSoftHook bool
+
 	// Exact instrumentation (ground truth for §7.2 validation).
 	commits uint64
 	aborts  [8]uint64 // indexed by htm.Cause
@@ -631,12 +637,14 @@ func (t *Thread) Load(a mem.Addr) mem.Word {
 		cost = uint64(r.Latency) + t.m.cfg.MemPenalty
 	}
 	t.endOp(opMeta{ev: pmu.Loads, n: 1, hasEv: true, addr: a, hasAddr: true}, cost)
+	t.softLoad(a, v)
 	return v
 }
 
 // Store writes v to the word at a, transactionally when a transaction
 // is active (the store is buffered until commit).
 func (t *Thread) Store(a mem.Addr, v mem.Word) {
+	t.softStore(a)
 	t.startShared()
 	var cost uint64
 	if t.tx != nil {
@@ -666,6 +674,7 @@ func (t *Thread) Add(a mem.Addr, d int64) mem.Word {
 // locked operation. Inside a transaction it behaves like a normal
 // read-modify-write on the write set.
 func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
+	t.softStore(a)
 	t.startShared()
 	var ok bool
 	var cost uint64
@@ -698,6 +707,7 @@ func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
 // AtomicAdd atomically adds d to the word at a and returns the new
 // value.
 func (t *Thread) AtomicAdd(a mem.Addr, d int64) mem.Word {
+	t.softStore(a)
 	t.startShared()
 	var v mem.Word
 	var cost uint64

@@ -7,7 +7,10 @@
 // matching Intel TSX's conflict-detection granularity.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Word is the machine word: every load and store moves one Word.
 type Word = uint64
@@ -115,6 +118,39 @@ func (m *Memory) AllocLines(n int) Addr { return m.Alloc(n*LineSize, LineSize) }
 
 // Footprint returns the number of bytes currently backed by pages.
 func (m *Memory) Footprint() int { return len(m.pages) * pageBytes }
+
+// Fingerprint returns a deterministic hash of the memory image: every
+// non-zero word together with its address, in address order. Two
+// memories with equal contents hash equally regardless of their
+// page-allocation history (a page of zeroes is indistinguishable from
+// an absent page, as on hardware-zeroed memory).
+func (m *Memory) Fingerprint() uint64 {
+	bases := make([]Addr, 0, len(m.pages))
+	for b := range m.pages {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, b := range bases {
+		for i, w := range m.pages[b] {
+			if w != 0 {
+				mix(uint64(b.Offset(i)))
+				mix(w)
+			}
+		}
+	}
+	return h
+}
 
 func mustAligned(a Addr) {
 	if !a.WordAligned() {

@@ -62,8 +62,26 @@ const (
 	// non-speculatively under the held lock.
 	KindNested
 
-	// NumKinds is the number of region kinds.
+	// NumKinds is the number of region kinds in the default random
+	// mix. The STM-biased templates below sit past it so the default
+	// mix (and every existing seed's program) is unchanged.
 	NumKinds = iota
+)
+
+// STM-biased templates, selected only under Config.StmBias: each one
+// forces the slow path with an unfriendly instruction so that, under a
+// software-capable hybrid policy, the region executes as a software
+// transaction (and under lock-only, under the global lock) — the
+// workloads the four-way mode-classification validation runs on.
+const (
+	// KindStmConflict forces the slow path and holds a wide
+	// read-compute-write window over one contended word: software
+	// validation failures, undo-log rollbacks, and retries.
+	KindStmConflict Kind = NumKinds + iota
+	// KindStmCapacity forces the slow path and writes a strided
+	// multi-line footprint: large read/write sets, long validation
+	// scans, and many per-word locks held at once.
+	KindStmCapacity
 )
 
 func (k Kind) String() string {
@@ -82,6 +100,10 @@ func (k Kind) String() string {
 		return "explicit"
 	case KindNested:
 		return "nested"
+	case KindStmConflict:
+		return "stm-conflict"
+	case KindStmCapacity:
+		return "stm-capacity"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -158,6 +180,12 @@ type Config struct {
 	// Ways is the L1 associativity capacity regions overflow against
 	// (0 = 4, matching txsampler.BenchCache).
 	Ways int
+	// StmBias switches generation to the slow-path-forcing template
+	// mix (KindStmConflict/KindStmCapacity plus the contended base
+	// kinds) for hybrid-mode validation. It does not change how
+	// non-biased programs generate: with StmBias false the draw
+	// sequence is byte-identical to earlier versions.
+	StmBias bool
 }
 
 func (c Config) withDefaults(rng *rand.Rand) Config {
@@ -184,25 +212,40 @@ func (c Config) withDefaults(rng *rand.Rand) Config {
 func Generate(cfg Config) *Program {
 	rng := rand.New(rand.NewSource(cfg.Seed*0x5deece66d + 0xb))
 	cfg = cfg.withDefaults(rng)
+	name := fmt.Sprintf("progen/s%d", cfg.Seed)
+	if cfg.StmBias {
+		name = fmt.Sprintf("progen/stm-s%d", cfg.Seed)
+	}
 	p := &Program{
-		Name:    fmt.Sprintf("progen/s%d", cfg.Seed),
+		Name:    name,
 		Seed:    cfg.Seed,
 		Threads: cfg.Threads,
 		Iters:   cfg.Iters,
 	}
+	// The STM-biased mix pins a conflict-heavy and a capacity-heavy
+	// slow-path region, then draws from the templates that spend time
+	// in every execution mode (software path, lock path, waiting, and
+	// the hardware path of the unforced kinds).
+	stmMix := []Kind{KindStmConflict, KindStmCapacity, KindPrivate, KindTrueShare, KindSyscall}
 	// The first two regions always pin down one contended and one
 	// private template so every program has both a known sharing site
 	// and a low-abort baseline; the rest draw from the full mix.
 	for i := 0; i < cfg.Regions; i++ {
 		var kind Kind
-		switch i {
-		case 0:
+		switch {
+		case cfg.StmBias && i == 0:
+			kind = KindStmConflict
+		case cfg.StmBias && i == 1:
+			kind = KindStmCapacity
+		case cfg.StmBias:
+			kind = stmMix[rng.Intn(len(stmMix))]
+		case i == 0:
 			if rng.Intn(2) == 0 {
 				kind = KindTrueShare
 			} else {
 				kind = KindFalseShare
 			}
-		case 1:
+		case i == 1:
 			kind = KindPrivate
 		default:
 			kind = Kind(rng.Intn(NumKinds))
@@ -229,9 +272,14 @@ func Generate(cfg Config) *Program {
 			// (overflows), so profiles see both sides of the edge.
 			r.Lines = cfg.Ways - 1 + rng.Intn(4)
 		}
+		if kind == KindStmCapacity {
+			// The slow path has no associativity limit; the footprint
+			// just sizes the software read/write sets.
+			r.Lines = 2 + rng.Intn(3)
+		}
 		r.Site = fmt.Sprintf("r%d_%s", r.ID, r.Kind)
 		switch kind {
-		case KindTrueShare:
+		case KindTrueShare, KindStmConflict:
 			p.TrueSites = append(p.TrueSites, r.Site)
 		case KindFalseShare:
 			p.FalseSites = append(p.FalseSites, r.Site)
@@ -292,9 +340,9 @@ func (p *Program) build(ctx *htmbench.Ctx) *htmbench.Instance {
 	}
 	for i, r := range p.Regions {
 		switch r.Kind {
-		case KindTrueShare, KindFalseShare:
+		case KindTrueShare, KindFalseShare, KindStmConflict:
 			lay.shared[i] = m.Mem.AllocLines(1)
-		case KindCapacity:
+		case KindCapacity, KindStmCapacity:
 			lay.capacity[i] = make([][]mem.Addr, ctx.Threads)
 			for tid := 0; tid < ctx.Threads; tid++ {
 				// A strided footprint through one cache set: line j
@@ -402,6 +450,21 @@ func (p *Program) access(lay *layout, r *Region, t *machine.Thread, tid, it int)
 			// update under the lock.
 			t.TxAbort()
 		}
+	case KindStmConflict:
+		// The syscall is a Sync (non-retryable) abort in the hardware
+		// attempt, so the region always executes on the configured slow
+		// path; the wide compute window between the read and the write
+		// provokes software validation failures under contention.
+		t.Syscall("stm_forced")
+		v := t.Load(lay.shared[i])
+		t.Compute(r.Compute * 4)
+		t.Store(lay.shared[i], v+1)
+	case KindStmCapacity:
+		t.Syscall("stm_forced")
+		t.Compute(r.Compute)
+		for _, line := range lay.capacity[i][tid] {
+			t.Store(line, mem.Word(it)+1)
+		}
 	case KindNested:
 		t.Compute(r.Compute)
 		// A nested transaction: in the speculative path it flattens
@@ -433,7 +496,7 @@ func (p *Program) check(threads int, lay *layout) func(m *machine.Machine) error
 		iters := mem.Word(p.Iters)
 		for i, r := range p.Regions {
 			switch r.Kind {
-			case KindTrueShare:
+			case KindTrueShare, KindStmConflict:
 				want := iters * mem.Word(threads)
 				if got := m.Mem.Load(lay.shared[i]); got != want {
 					return fmt.Errorf("progen: region %d (%s): shared word = %d, want %d", i, r.Kind, got, want)
@@ -449,7 +512,7 @@ func (p *Program) check(threads int, lay *layout) func(m *machine.Machine) error
 						return fmt.Errorf("progen: region %d (%s): slot %v = %d, want %d", i, r.Kind, a, got, w)
 					}
 				}
-			case KindCapacity:
+			case KindCapacity, KindStmCapacity:
 				for tid := 0; tid < threads; tid++ {
 					for j, line := range lay.capacity[i][tid] {
 						if got := m.Mem.Load(line); got != iters {

@@ -1,0 +1,72 @@
+package rtm
+
+// Micro-benchmarks of the runtime's execution paths: critical sections
+// per second when the section commits in hardware, through the
+// word-based STM slow path, and through the global-lock fallback. The
+// stm/htm throughput ratio is the instrumentation-overhead headline
+// that CI gates with benchdiff -ratio: the software path must stay
+// within an order of magnitude of hardware commits.
+
+import (
+	"fmt"
+	"testing"
+
+	"txsampler/internal/machine"
+)
+
+// benchCS drives threads through b.N total critical sections, each
+// incrementing a thread-private word (no cross-thread conflicts, so
+// the path cost itself is measured rather than contention), and
+// reports aggregate sections/sec.
+func benchCS(b *testing.B, threads int, hybrid machine.HybridPolicy, force bool) {
+	b.ReportAllocs()
+	perThread := b.N/threads + 1
+	m := machine.New(machine.Config{Threads: threads, Seed: 1, Hybrid: hybrid})
+	l := NewLock(m)
+	base := m.Mem.AllocLines(threads)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(th *machine.Thread) {
+			ctr := base.Offset(th.ID * 8) // one line per thread
+			body := func() { th.Add(ctr, 1) }
+			run := body
+			if force {
+				run = func() {
+					th.Syscall("bench_forced")
+					body()
+				}
+			}
+			for i := 0; i < perThread; i++ {
+				l.Run(th, run)
+			}
+		})
+		close(done)
+	}()
+	<-done
+	b.StopTimer()
+	ops := float64(perThread) * float64(threads)
+	b.ReportMetric(ops/b.Elapsed().Seconds(), "cs/sec")
+}
+
+// BenchmarkSTMOpsPerSec compares the three ways a critical section can
+// execute: committing in hardware (htm), the forced word-based STM
+// slow path (stm), and the forced global-lock fallback (lock). CI
+// holds "stm cs/sec / htm cs/sec" above a floor with benchdiff -ratio.
+func BenchmarkSTMOpsPerSec(b *testing.B) {
+	const threads = 4
+	cases := []struct {
+		name   string
+		hybrid machine.HybridPolicy
+		force  bool
+	}{
+		{"htm", machine.HybridStmFallback, false},
+		{"stm", machine.HybridStmFallback, true},
+		{"lock", machine.HybridLockOnly, true},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%dthreads-%s", threads, c.name), func(b *testing.B) {
+			benchCS(b, threads, c.hybrid, c.force)
+		})
+	}
+}

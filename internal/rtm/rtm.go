@@ -17,6 +17,8 @@
 package rtm
 
 import (
+	"sync/atomic"
+
 	"txsampler/internal/htm"
 	"txsampler/internal/machine"
 	"txsampler/internal/mem"
@@ -35,6 +37,9 @@ const (
 	InLockWaiting
 	// InOverhead: initiating, retrying, or cleaning up a transaction.
 	InOverhead
+	// InSTM: executing in the instrumented software-transaction slow
+	// path (the hybrid-TM extension; not part of the paper's Figure 4).
+	InSTM
 )
 
 // The query functions of the profiler-facing state API (Figure 4).
@@ -53,6 +58,73 @@ func IsInLockWaiting(s uint32) bool { return s&InLockWaiting != 0 }
 // interrupt's abort rolled the transactional update back — which is
 // precisely why the profiler needs the LBR abort bit (Challenge I).
 func IsInHTM(s uint32) bool { return s&InHTM != 0 }
+
+// IsInSTM reports whether the state word shows the software slow
+// path. Unlike InHTM, this bit survives PMU interrupts: the STM is
+// plain instrumented software, so the handler observes it live.
+func IsInSTM(s uint32) bool { return s&InSTM != 0 }
+
+// Mode is the execution-mode classification of one cycles sample
+// under hybrid TM: the paper's Figure 4 buckets extended with the
+// instrumented software path. ModeHTM is only observable through the
+// LBR abort bit (the state word's InHTM bit rolls back); every other
+// mode reads directly off the live state word.
+type Mode uint8
+
+const (
+	// ModeNone: outside any critical section (the profiler's S
+	// bucket).
+	ModeNone Mode = iota
+	// ModeHTM: inside a hardware transaction.
+	ModeHTM
+	// ModeSTM: inside an instrumented software transaction.
+	ModeSTM
+	// ModeLock: in the fallback path under the global lock.
+	ModeLock
+	// ModeWaiting: waiting for the global lock (or for software
+	// writers to drain).
+	ModeWaiting
+	// ModeOverhead: transaction begin/retry/cleanup bookkeeping.
+	ModeOverhead
+
+	// NumModes sizes confusion matrices over Mode.
+	NumModes
+)
+
+var modeNames = [...]string{
+	ModeNone: "none", ModeHTM: "htm", ModeSTM: "stm",
+	ModeLock: "lock", ModeWaiting: "waiting", ModeOverhead: "overhead",
+}
+
+func (m Mode) String() string {
+	if int(m) >= len(modeNames) {
+		return "invalid"
+	}
+	return modeNames[m]
+}
+
+// ModeOf classifies a sampled state word. inTx is the evidence that
+// the sample interrupted a hardware transaction: the LBR abort bit
+// for the profiler, the machine's ground truth for the validator.
+// Order matters and mirrors the collector's Figure 4 switch: hardware
+// evidence wins (the rolled-back state word cannot show InHTM), then
+// the live software bits.
+func ModeOf(state uint32, inTx bool) Mode {
+	switch {
+	case inTx:
+		return ModeHTM
+	case !IsInCS(state):
+		return ModeNone
+	case IsInSTM(state):
+		return ModeSTM
+	case IsInFallback(state):
+		return ModeLock
+	case IsInLockWaiting(state):
+		return ModeWaiting
+	default:
+		return ModeOverhead
+	}
+}
 
 // Policy controls the retry behaviour of a critical section.
 type Policy struct {
@@ -91,6 +163,11 @@ type Policy struct {
 	// StormRetries replaces MaxRetries while a storm is active. Zero
 	// means 1.
 	StormRetries int
+
+	// StmRetries bounds software-transaction attempts before the
+	// slow path gives up and takes the global lock (hybrid policies
+	// only; HybridSerializeOnConflict always uses 1). Zero means 3.
+	StmRetries int
 }
 
 // DefaultPolicy matches the paper's evaluation setup.
@@ -121,6 +198,13 @@ func (p Policy) stormRetries() int {
 	return p.StormRetries
 }
 
+func (p Policy) stmRetries() int {
+	if p.StmRetries <= 0 {
+		return 3
+	}
+	return p.StmRetries
+}
+
 // Stats counts critical-section outcomes for one lock; exact ground
 // truth, not sampled.
 type Stats struct {
@@ -132,6 +216,13 @@ type Stats struct {
 	// Adaptive-policy accounting (zero unless Policy.Adaptive).
 	StormsDetected uint64 // transitions into storm mode
 	StormFallbacks uint64 // fallbacks taken while a storm was active
+
+	// Hybrid-TM accounting (zero unless Lock.Hybrid enables the STM
+	// slow path).
+	StmCommits   uint64 // software transactions committed
+	StmAborts    uint64 // software-transaction conflicts/validation failures
+	StmFallbacks uint64 // STM retry budgets exhausted; lock taken
+	StmBusy      uint64 // hardware aborts on an active software writer
 }
 
 // EventKind enumerates the critical-section events an instrumenting
@@ -165,6 +256,13 @@ type Lock struct {
 	Policy Policy
 	Stats  Stats
 
+	// Hybrid selects the slow path taken after hardware retries are
+	// exhausted (see machine.HybridPolicy). NewLock copies it from the
+	// machine's configuration; tests may override it before use. With
+	// the default, HybridLockOnly, the lock behaves exactly as the
+	// paper's runtime.
+	Hybrid HybridPolicy
+
 	// Sink, when set, receives begin/commit/abort/fallback events —
 	// the instrumentation hook record-and-replay tools need. Nil for
 	// normal (sampling-profiled or native) runs.
@@ -180,11 +278,52 @@ type Lock struct {
 	// scheduler preserves it.
 	ambientStreak int  // consecutive ambient aborts since last commit
 	storming      bool // storm mode active
+
+	// runM is the machine this lock last ran on. A Lock reused across
+	// machine runs must not carry storm state (or software-TM word
+	// locks) from a previous run into the next; critical resets both
+	// when the machine changes. Atomic because the fast-path check in
+	// resetRunOn reads it outside Exclusive (writes stay inside).
+	runM atomic.Pointer[machine.Machine]
+
+	// stm is the software-transaction side of the lock (see stm.go).
+	// Always present so hybrid policies can be chosen per run without
+	// perturbing memory layout; idle unless Hybrid enables it.
+	stm stmState
 }
 
 // Storming reports whether the adaptive policy currently has retries
 // shed (useful for tests and diagnostics).
 func (l *Lock) Storming() bool { return l.storming }
+
+// ResetRun clears per-run lock state: the adaptive storm detector and
+// any software-TM word locks. critical calls it automatically when it
+// first runs on a new machine; callers reusing a Lock outside Run can
+// invoke it directly.
+func (l *Lock) ResetRun() {
+	l.ambientStreak = 0
+	l.storming = false
+	l.runM.Store(nil)
+	l.stm.reset()
+}
+
+// resetRunOn resets per-run state the first time the lock is used on
+// machine m. The check is a plain atomic pointer load (no machine
+// operation, so schedules are unchanged); the reset itself is ordered
+// by Exclusive and idempotent, so concurrent first entries are safe.
+func (l *Lock) resetRunOn(t *machine.Thread) {
+	if l.runM.Load() == t.Machine() {
+		return
+	}
+	t.Exclusive(func() {
+		if l.runM.Load() != t.Machine() {
+			l.ambientStreak = 0
+			l.storming = false
+			l.stm.reset()
+			l.runM.Store(t.Machine())
+		}
+	})
+}
 
 // noteOutcome updates the adaptive storm detector after one attempt.
 func (l *Lock) noteOutcome(committed bool, cause htm.Cause) {
@@ -228,14 +367,23 @@ func (l *Lock) emit(t *machine.Thread, kind EventKind) {
 	}
 }
 
-// NewLock allocates a lock on machine m with the default policy.
+// NewLock allocates a lock on machine m with the default policy and
+// the machine's configured hybrid policy. The software-TM "active
+// writers" word lives on the lock's own cache line (word 1, next to
+// the lock word at word 0): hardware transactions already subscribe
+// to that line through the lock-word check, so a software writer
+// announcing itself aborts them with no additional instrumentation
+// in the hardware fast path.
 func NewLock(m *machine.Machine) *Lock {
-	return &Lock{
+	l := &Lock{
 		Addr:           m.Mem.AllocLines(1),
 		Policy:         DefaultPolicy(),
+		Hybrid:         m.Config().Hybrid,
 		Stats:          Stats{Aborts: make(map[htm.Cause]uint64)},
 		overheadCycles: 25,
 	}
+	l.stm.init(l.Addr)
+	return l
 }
 
 // Run executes body as one critical section on thread t: the paper's
@@ -253,7 +401,9 @@ func (l *Lock) Run(t *machine.Thread, body func()) {
 }
 
 func (l *Lock) critical(t *machine.Thread, body func()) {
+	l.resetRunOn(t)
 	l.emit(t, EventBegin)
+	hybrid := l.Hybrid != HybridLockOnly
 	retries, lockBusy := 0, 0
 	for {
 		// Transaction setup overhead (paper's T_oh component).
@@ -267,19 +417,38 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			t.Compute(2)
 			waited = true
 		}
+		if hybrid && l.Hybrid != HybridSandboxed {
+			// Also wait for software writers to drain; the sandboxed
+			// policy skips this and burns speculative attempts on the
+			// in-transaction check instead.
+			for t.Load(l.stm.active) != 0 {
+				t.Compute(2)
+				waited = true
+			}
+		}
 		if waited && l.Policy.BackoffBase > 0 {
 			// Desynchronize the herd released by the lock holder.
 			t.Compute(1 + t.Rand().Intn(4*l.Policy.BackoffBase))
 		}
 
 		t.State = InCS | InOverhead
-		sawLockHeld := false
+		sawLockHeld, sawStmWriter := false, false
 		abort := t.Attempt(func() {
 			t.State |= InHTM // transactional update; rolls back on abort
 			// Read the lock word into the read set: a fallback
 			// acquisition elsewhere now aborts this transaction.
 			if t.Load(l.Addr) != 0 {
 				sawLockHeld = true
+				t.TxAbort()
+			}
+			if hybrid && t.Load(l.stm.active) != 0 {
+				// Subscribe to the software writer count (same cache
+				// line, so it costs no extra read-set entry): a
+				// hardware transaction must never commit having read
+				// a software transaction's eager, unvalidated writes.
+				// A writer active at begin aborts here; one appearing
+				// later conflicts on this line and dooms us.
+				sawStmWriter = true
 				t.TxAbort()
 			}
 			body()
@@ -299,6 +468,7 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 
 		l.emit(t, EventAbort)
 		lockHeldAbort := sawLockHeld && abort.Cause == htm.Explicit
+		stmBusyAbort := sawStmWriter && abort.Cause == htm.Explicit
 		var budget int
 		var storm bool
 		t.Exclusive(func() {
@@ -307,14 +477,17 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			if lockHeldAbort {
 				l.Stats.LockBusy++
 			}
+			if stmBusyAbort {
+				l.Stats.StmBusy++
+			}
 			budget = l.maxRetries()
 			storm = l.storming
 		})
 		switch {
-		case lockHeldAbort:
+		case lockHeldAbort || stmBusyAbort:
 			lockBusy++
 			if lockBusy <= l.Policy.MaxLockBusy {
-				continue // wait for the lock and try again
+				continue // wait for the lock/writers and try again
 			}
 		case abort.Cause.Retryable() && retries < budget:
 			retries++
@@ -331,6 +504,12 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 		break // persistent abort or retries exhausted: fall back
 	}
 
+	// Instrumented software slow path: before serializing through the
+	// lock, hybrid policies retry the body as a software transaction.
+	if hybrid && l.runSTM(t, body) {
+		return
+	}
+
 	// Fallback path: acquire the global lock. The CAS is a
 	// non-transactional write to the lock line, aborting every
 	// transaction that has read it — the serialization the paper's
@@ -340,6 +519,14 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 		for t.Load(l.Addr) != 0 {
 			t.Compute(2)
 		}
+	}
+	if hybrid {
+		// Software writers that entered their write phase before the
+		// CAS drain here; new ones wait for the lock word. Their
+		// eager writes are complete (and will validate cleanly — the
+		// holder has written nothing yet), so once the count is zero
+		// the holder owns memory exclusively.
+		l.waitQuiesce(t)
 	}
 	held := t.Clock() // lock acquired; the serialization span begins
 	t.State = InCS | InFallback

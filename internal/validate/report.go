@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"txsampler/internal/machine"
 	"txsampler/internal/progen"
 )
 
@@ -28,6 +29,13 @@ type Aggregate struct {
 	FalseSharingPrecision float64 `json:"false_sharing_precision"`
 	FalseSharingRecall    float64 `json:"false_sharing_recall"`
 
+	// ModeSamples and ModeAccuracy micro-average the execution-mode
+	// confusion matrices: of all in-CS cycles samples across programs,
+	// the fraction classified into the correct htm/stm/lock/waiting
+	// bucket.
+	ModeSamples  uint64  `json:"mode_samples"`
+	ModeAccuracy float64 `json:"mode_accuracy"`
+
 	// InvariantViolations counts failed metamorphic invariants across
 	// all programs (zero on a healthy profiler).
 	InvariantViolations int `json:"invariant_violations"`
@@ -37,9 +45,12 @@ type Aggregate struct {
 type Report struct {
 	// N and Seed reproduce the campaign: program i uses generation
 	// seed Seed+i.
-	N         int              `json:"n"`
-	Seed      int64            `json:"seed"`
-	Threads   int              `json:"threads,omitempty"`
+	N       int    `json:"n"`
+	Seed    int64  `json:"seed"`
+	Threads int    `json:"threads,omitempty"`
+	Hybrid  string `json:"hybrid_policy,omitempty"`
+	StmBias bool   `json:"stm_bias,omitempty"`
+
 	Aggregate Aggregate        `json:"aggregate"`
 	Programs  []*ProgramResult `json:"programs"`
 }
@@ -48,9 +59,12 @@ type Report struct {
 // seed..seed+n-1. It is deterministic: equal (n, seed, o) yield
 // byte-identical reports.
 func Campaign(n int, seed int64, o Options) (*Report, error) {
-	r := &Report{N: n, Seed: seed, Threads: o.Threads}
+	r := &Report{N: n, Seed: seed, Threads: o.Threads, StmBias: o.StmBias}
+	if o.Hybrid != machine.HybridLockOnly {
+		r.Hybrid = o.Hybrid.String()
+	}
 	for i := 0; i < n; i++ {
-		p := progen.Generate(progen.Config{Seed: seed + int64(i), Threads: o.Threads})
+		p := progen.Generate(progen.Config{Seed: seed + int64(i), Threads: o.Threads, StmBias: o.StmBias})
 		pr, err := Program(p, o)
 		if err != nil {
 			return nil, err
@@ -64,12 +78,15 @@ func Campaign(n int, seed int64, o Options) (*Report, error) {
 func aggregate(progs []*ProgramResult) Aggregate {
 	a := Aggregate{Programs: len(progs)}
 	var txCorrect, naiveCorrect, detected, inTx uint64
+	var modeTotal, modeCorrect uint64
 	var tTP, tRep, tSam, fTP, fRep, fSam int
 	for _, p := range progs {
 		inTx += p.InTxSamples
 		txCorrect += p.ContextCorrect
 		naiveCorrect += p.NaiveCorrect
 		detected += p.PathDetected
+		modeTotal += p.ModeSamples
+		modeCorrect += p.ModeCorrect
 		if p.CauseDrift > a.MaxCauseDrift {
 			a.MaxCauseDrift = p.CauseDrift
 		}
@@ -87,6 +104,8 @@ func aggregate(progs []*ProgramResult) Aggregate {
 	a.TrueSharingRecall = ratioOr1(tTP, tSam)
 	a.FalseSharingPrecision = ratioOr1(fTP, fRep)
 	a.FalseSharingRecall = ratioOr1(fTP, fSam)
+	a.ModeSamples = modeTotal
+	a.ModeAccuracy = frac(modeCorrect, modeTotal)
 	return a
 }
 
@@ -131,6 +150,10 @@ type Baseline struct {
 	MinFalseSharingRecall    float64 `json:"min_false_sharing_recall"`
 	MaxCauseDrift            float64 `json:"max_cause_drift"`
 	MaxInvariantViolations   int     `json:"max_invariant_violations"`
+	// MinModeAccuracy floors the four-way execution-mode
+	// classification accuracy (htm/stm/lock/waiting buckets vs the
+	// machine's ground truth).
+	MinModeAccuracy float64 `json:"min_mode_accuracy"`
 }
 
 // LoadBaseline reads a baseline file.
@@ -160,6 +183,7 @@ func (b Baseline) Check(a Aggregate) error {
 	low("true_sharing_recall", a.TrueSharingRecall, b.MinTrueSharingRecall)
 	low("false_sharing_precision", a.FalseSharingPrecision, b.MinFalseSharingPrecision)
 	low("false_sharing_recall", a.FalseSharingRecall, b.MinFalseSharingRecall)
+	low("mode_accuracy", a.ModeAccuracy, b.MinModeAccuracy)
 	if a.MaxCauseDrift > b.MaxCauseDrift {
 		errs = append(errs, fmt.Sprintf("max_cause_drift %.4f above baseline %.4f", a.MaxCauseDrift, b.MaxCauseDrift))
 	}

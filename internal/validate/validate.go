@@ -20,8 +20,10 @@ import (
 	"txsampler"
 	"txsampler/internal/core"
 	"txsampler/internal/htm"
+	"txsampler/internal/machine"
 	"txsampler/internal/pmu"
 	"txsampler/internal/progen"
+	"txsampler/internal/rtm"
 )
 
 // Periods returns the dense sampling periods validation runs use.
@@ -96,9 +98,27 @@ type ProgramResult struct {
 	TrueSharing  Sharing `json:"true_sharing"`
 	FalseSharing Sharing `json:"false_sharing"`
 
+	// Execution-mode classification (hybrid-TM four-way split): of the
+	// cycles samples taken inside critical sections, how many the
+	// profiler's state-word + LBR-abort-bit classification puts into
+	// the same htm/stm/lock/waiting bucket as the machine's exact
+	// ground truth, plus the non-zero confusion-matrix cells.
+	ModeSamples  uint64     `json:"mode_samples"`
+	ModeCorrect  uint64     `json:"mode_correct"`
+	ModeAccuracy float64    `json:"mode_accuracy"`
+	ModeMatrix   []ModeCell `json:"mode_matrix,omitempty"`
+
 	// Violations lists every failed metamorphic invariant (empty on a
 	// healthy program).
 	Violations []string `json:"violations"`
+}
+
+// ModeCell is one non-zero cell of a program's execution-mode
+// confusion matrix.
+type ModeCell struct {
+	Truth string `json:"truth"`
+	Got   string `json:"got"`
+	Count uint64 `json:"count"`
 }
 
 // Options tunes a validation run; the zero value is the standard
@@ -109,6 +129,13 @@ type Options struct {
 	// Quantum overrides the base run's scheduler quantum (the
 	// byte-identity invariant always compares against quantum 1).
 	Quantum int
+	// Hybrid selects the slow-path execution mode of the generated
+	// programs' global lock (zero = lock-only).
+	Hybrid machine.HybridPolicy
+	// StmBias switches generation to progen's slow-path-forcing
+	// template mix, so software-transaction samples dominate the mode
+	// classification population.
+	StmBias bool
 }
 
 // Program validates one generated program: the base profiled run with
@@ -118,7 +145,7 @@ func Program(p *progen.Program, o Options) (*ProgramResult, error) {
 	w := p.Workload()
 	base := txsampler.Options{
 		Threads: o.Threads, Seed: p.Seed, Profile: true,
-		Periods: Periods(), Quantum: o.Quantum,
+		Periods: Periods(), Quantum: o.Quantum, Hybrid: o.Hybrid,
 	}
 	res, acc, err := txsampler.RunWorkloadWithAccuracy(w, base)
 	if err != nil {
@@ -141,7 +168,11 @@ func Program(p *progen.Program, o Options) (*ProgramResult, error) {
 	pr.CauseMatrix, pr.CauseDrift = causeMatrix(res)
 	pr.TrueSharing = sharingScore(res, p.TrueSites, true)
 	pr.FalseSharing = sharingScore(res, p.FalseSites, false)
-	pr.Violations, err = checkInvariants(p, base, res)
+	pr.ModeSamples = acc.Modes.Total()
+	pr.ModeCorrect = acc.Modes.Correct()
+	pr.ModeAccuracy = round(acc.Modes.Accuracy())
+	pr.ModeMatrix = modeCells(&acc.Modes)
+	pr.Violations, err = checkInvariants(p, base, res, o.StmBias)
 	if err != nil {
 		return nil, fmt.Errorf("validate %s: %w", p.Name, err)
 	}
@@ -260,6 +291,20 @@ func sharingScore(res *txsampler.Result, expected []string, wantTrue bool) Shari
 		s.Recall = 1 // nothing sampled at expected sites: vacuous
 	}
 	return s
+}
+
+// modeCells flattens the non-zero confusion cells in fixed
+// (truth, got) order, so JSON reports stay deterministic.
+func modeCells(m *core.ModeMatrix) []ModeCell {
+	var cells []ModeCell
+	for truth := rtm.Mode(0); truth < rtm.NumModes; truth++ {
+		for got := rtm.Mode(0); got < rtm.NumModes; got++ {
+			if n := m.Counts[truth][got]; n > 0 {
+				cells = append(cells, ModeCell{Truth: truth.String(), Got: got.String(), Count: n})
+			}
+		}
+	}
+	return cells
 }
 
 func sortedKeys(m map[string]bool) []string {

@@ -33,6 +33,9 @@ type htmlReport struct {
 	Rcs      float64
 	Tx, Fb   float64
 	Wait, Oh float64
+	Stm      float64
+	StmRatio float64 // instrumentation overhead: stm cycles / htm cycles
+	HasStm   bool
 	RatioAC  float64
 	Conflict float64
 	Capacity float64
@@ -71,6 +74,8 @@ li { margin: 2px 0; }
 <p class="meta">r_cs = {{printf "%.1f" .Rcs}}% &middot; in CS: tx {{printf "%.1f" .Tx}}%,
 fallback {{printf "%.1f" .Fb}}%, lock-wait {{printf "%.1f" .Wait}}%, overhead {{printf "%.1f" .Oh}}%
 &middot; abort/commit = {{printf "%.3f" .RatioAC}} &middot; {{.Category}}</p>
+{{if .HasStm}}<p class="meta">hybrid: stm {{printf "%.1f" .Stm}}% of CS &middot;
+instrumentation overhead stm/htm = {{printf "%.2f" .StmRatio}}</p>{{end}}
 <p class="meta">abort weight: conflict {{printf "%.1f" .Conflict}}%,
 capacity {{printf "%.1f" .Capacity}}%, sync {{printf "%.1f" .Sync}}%</p>
 
@@ -113,8 +118,13 @@ func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOpti
 		Sync:     100 * r.CauseShare(htm.Sync),
 		Category: r.Categorize().String(),
 	}
-	tx, fb, wait, oh := r.TimeShares()
+	tx, stm, fb, wait, oh := r.TimeShares()
 	data.Tx, data.Fb, data.Wait, data.Oh = 100*tx, 100*fb, 100*wait, 100*oh
+	if r.Totals.Tstm > 0 {
+		data.HasStm = true
+		data.Stm = 100 * stm
+		data.StmRatio = r.StmOverhead()
+	}
 
 	totalT := float64(r.Totals.T)
 	var totalAW float64

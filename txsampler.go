@@ -75,6 +75,10 @@ type Options struct {
 	// Policy overrides the RTM retry policy of the workload's global
 	// lock (nil = rtm.DefaultPolicy), for the ablation studies.
 	Policy *rtm.Policy
+	// Hybrid selects the slow-path execution mode of every rtm.Lock in
+	// the workload (zero = HybridLockOnly, the classic global-lock
+	// fallback). See machine.HybridPolicy.
+	Hybrid machine.HybridPolicy
 	// Thresholds tune the decision tree.
 	Thresholds decision.Thresholds
 	// Faults enables deterministic fault injection (chaos profiling);
@@ -166,6 +170,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		Faults:      o.Faults,
 		Quantum:     o.Quantum,
 		Trace:       o.Trace,
+		Hybrid:      o.Hybrid,
 		Context:     o.Context,
 	}
 	if o.Profile {
@@ -268,7 +273,7 @@ func RunWorkloadWithAccuracy(w *htmbench.Workload, o Options) (*Result, Accuracy
 		Threads: threads, Cache: cacheCfg, LBRDepth: o.LBRDepth,
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
 		Periods: o.Periods, Faults: o.Faults, Quantum: o.Quantum,
-		Trace: o.Trace, Context: o.Context,
+		Trace: o.Trace, Hybrid: o.Hybrid, Context: o.Context,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
