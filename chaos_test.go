@@ -15,6 +15,8 @@ import (
 	"txsampler"
 	"txsampler/internal/analyzer"
 	"txsampler/internal/faults"
+	"txsampler/internal/machine"
+	"txsampler/internal/pmem"
 	"txsampler/internal/pmu"
 	"txsampler/internal/profile"
 )
@@ -50,6 +52,20 @@ func chaosRun(t *testing.T, plan faults.Plan) *txsampler.Result {
 	return res
 }
 
+// chaosRunPmem is chaosRun against a persistent workload with the pmem
+// tier enabled — the regime the pmem crash presets need to fire in.
+func chaosRunPmem(t *testing.T, plan faults.Plan) *txsampler.Result {
+	t.Helper()
+	res, err := txsampler.Run("pmem/kv", txsampler.Options{
+		Threads: chaosThreads, Seed: chaosSeed, Profile: true, Faults: plan,
+		Periods: chaosPeriods(), Pmem: pmem.Config{Enabled: true},
+	})
+	if err != nil {
+		t.Fatalf("plan %q: %v", plan, err)
+	}
+	return res
+}
+
 func serialize(t *testing.T, r *analyzer.Report) []byte {
 	t.Helper()
 	var buf bytes.Buffer
@@ -64,11 +80,22 @@ func TestChaosRegimes(t *testing.T) {
 	if got := clean.Report.Quality.Degraded(); got != 0 {
 		t.Fatalf("fault-free run reports degradation: %d (%+v)", got, clean.Report.Quality)
 	}
-	cTx, cStm, cFb, cWait, cOh := clean.Report.TimeShares()
+	cTx, cStm, cFb, cWait, cOh, cPersist := clean.Report.TimeShares()
 	cleanRcs := clean.Report.Rcs()
+	// The pmem crash presets need a persistent workload with the pmem
+	// tier enabled; their baseline is a crash-free pmem run.
+	cleanPmem := chaosRunPmem(t, faults.Plan{})
+	if got := cleanPmem.Report.Quality.Degraded(); got != 0 {
+		t.Fatalf("crash-free pmem run reports degradation: %d (%+v)", got, cleanPmem.Report.Quality)
+	}
+	pTx, pStm, pFb, pWait, pOh, pPersist := cleanPmem.Report.TimeShares()
+	cleanPmemRcs := cleanPmem.Report.Rcs()
 
 	for _, name := range faults.PresetNames() {
 		plan := faults.Presets[name]
+		if faults.PmemPreset(name) {
+			continue // covered by the pmem regime loop below
+		}
 		t.Run(name, func(t *testing.T) {
 			// (a) No crash, no hang; the committed workload result is
 			// still validated by the workload's own Check.
@@ -93,7 +120,7 @@ func TestChaosRegimes(t *testing.T) {
 			// (c) Classification stays within 10 points of baseline:
 			// ambient faults may cost samples but must not reshuffle
 			// where the profiler says the time went.
-			tx, stm, fb, wait, oh := res.Report.TimeShares()
+			tx, stm, fb, wait, oh, persist := res.Report.TimeShares()
 			for _, d := range []struct {
 				name      string
 				got, want float64
@@ -104,12 +131,74 @@ func TestChaosRegimes(t *testing.T) {
 				{"fallback-share", fb, cFb},
 				{"wait-share", wait, cWait},
 				{"overhead-share", oh, cOh},
+				{"persist-share", persist, cPersist},
 			} {
 				if diff := math.Abs(d.got - d.want); diff > 0.10 {
 					t.Errorf("%s drifted %.3f (faulted %.3f vs clean %.3f)", d.name, diff, d.got, d.want)
 				}
 			}
 		})
+	}
+
+	// Pmem regime: crash-storm presets against a persistent workload
+	// under every hybrid policy — no crash/hang, recovery converges (the
+	// workload Check pins every durable word), degradation is flagged,
+	// and the profile stays reproducible.
+	for _, name := range faults.PresetNames() {
+		if !faults.PmemPreset(name) {
+			continue
+		}
+		plan := faults.Presets[name]
+		for _, pol := range allPolicies() {
+			t.Run(fmt.Sprintf("%s/%v", name, pol), func(t *testing.T) {
+				res, err := txsampler.Run("pmem/kv", txsampler.Options{
+					Threads: chaosThreads, Seed: chaosSeed, Profile: true,
+					Faults: plan, Periods: chaosPeriods(), Hybrid: pol,
+					Pmem: pmem.Config{Enabled: true},
+				})
+				if err != nil {
+					t.Fatalf("plan %q: %v", plan, err)
+				}
+				q := res.Report.Quality
+				if q.Degraded() == 0 {
+					t.Fatalf("crashes injected but Degraded() = 0: %+v", q)
+				}
+				if q.Injected.PmemCrashes == 0 {
+					t.Fatalf("plan %s fired no pmem crashes: %+v", name, q.Injected)
+				}
+				again, err := txsampler.Run("pmem/kv", txsampler.Options{
+					Threads: chaosThreads, Seed: chaosSeed, Profile: true,
+					Faults: plan, Periods: chaosPeriods(), Hybrid: pol,
+					Pmem: pmem.Config{Enabled: true},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(serialize(t, res.Report), serialize(t, again.Report)) {
+					t.Fatal("same seed produced different profiles under crash injection")
+				}
+				if pol != machine.HybridLockOnly {
+					return // drift is judged against the lock-only baseline
+				}
+				tx, stm, fb, wait, oh, persist := res.Report.TimeShares()
+				for _, d := range []struct {
+					name      string
+					got, want float64
+				}{
+					{"r_cs", res.Report.Rcs(), cleanPmemRcs},
+					{"tx-share", tx, pTx},
+					{"stm-share", stm, pStm},
+					{"fallback-share", fb, pFb},
+					{"wait-share", wait, pWait},
+					{"overhead-share", oh, pOh},
+					{"persist-share", persist, pPersist},
+				} {
+					if diff := math.Abs(d.got - d.want); diff > 0.10 {
+						t.Errorf("%s drifted %.3f (crashed %.3f vs clean %.3f)", d.name, diff, d.got, d.want)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"txsampler/internal/htmbench"
 	"txsampler/internal/lbr"
 	"txsampler/internal/machine"
+	"txsampler/internal/pmem"
 	"txsampler/internal/profile"
 	"txsampler/internal/telemetry"
 	"txsampler/internal/viewer"
@@ -54,8 +55,18 @@ func main() {
 		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
 		quantum = flag.Int("quantum", 0, "scheduler run quantum in ops (0 = machine default; results are quantum-invariant)")
 		hybrid  = flag.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
+		pmemOn  = flag.Bool("pmem", false, "enable the persistent-memory tier (durable commits + persistence-stall attribution; pmem/* workloads)")
+		pflush  = flag.Uint64("pmem-flush", 0, "per-line flush cost in cycles (0 = default)")
+		pfence  = flag.Uint64("pmem-fence", 0, "persist-fence cost in cycles (0 = default)")
+		plog    = flag.Uint64("pmem-log", 0, "undo-log append cost in cycles (0 = default)")
+		pcommit = flag.Uint64("pmem-commit", 0, "durable commit-record cost in cycles (0 = default)")
 	)
 	flag.Parse()
+
+	pcfg := pmem.Config{
+		Enabled: *pmemOn, FlushCost: *pflush, FenceCost: *pfence,
+		LogCost: *plog, CommitCost: *pcommit,
+	}
 
 	hpol, err := machine.ParseHybridPolicy(*hybrid)
 	if err != nil {
@@ -115,7 +126,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *acc {
-		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Hybrid: hpol, Context: ctx})
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Hybrid: hpol, Pmem: pcfg, Context: ctx})
 		if err != nil {
 			if errors.Is(err, txsampler.ErrCanceled) {
 				fmt.Fprintln(os.Stderr, "txsampler: interrupted")
@@ -153,7 +164,8 @@ func main() {
 	}
 	res, err := txsampler.Run(name, txsampler.Options{
 		Threads: *threads, Seed: *seed, Profile: !*native, Faults: plan,
-		Quantum: *quantum, Trace: tracer, Metrics: metrics, Hybrid: hpol, Context: ctx,
+		Quantum: *quantum, Trace: tracer, Metrics: metrics, Hybrid: hpol,
+		Pmem: pcfg, Context: ctx,
 	})
 	if err != nil {
 		if errors.Is(err, txsampler.ErrCanceled) {

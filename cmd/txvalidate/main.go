@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline = fs.String("baseline", "", "check the aggregate against this baseline file")
 		hybrid   = fs.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
 		stmBias  = fs.Bool("stm-bias", false, "generate slow-path-forcing programs (hybrid-mode classification validation)")
+		pmemBias = fs.Bool("pmem-bias", false, "generate durable-region programs with the pmem tier enabled (persistence-stall classification validation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -52,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep, err := validate.Campaign(*n, *seed, validate.Options{Threads: *threads, Hybrid: hpol, StmBias: *stmBias})
+	rep, err := validate.Campaign(*n, *seed, validate.Options{Threads: *threads, Hybrid: hpol, StmBias: *stmBias, PmemBias: *pmemBias})
 	if err != nil {
 		fmt.Fprintln(stderr, "txvalidate:", err)
 		return 1

@@ -154,13 +154,14 @@ func (r *Report) Rcs() float64 { return ratio(r.Totals.T, r.Totals.W) }
 
 // TimeShares returns the shares of T spent in the hardware
 // transaction path, the instrumented software-transaction path, the
-// fallback path, lock waiting, and transaction overhead (Equation 2
-// extended with the hybrid-TM stm bucket; stm is zero under the
-// lock-only policy).
-func (r *Report) TimeShares() (tx, stm, fb, wait, oh float64) {
+// fallback path, lock waiting, transaction overhead, and the
+// persist epilogue (Equation 2 extended with the hybrid-TM stm bucket
+// and the pmem persistence-stall bucket; stm is zero under the
+// lock-only policy, persist is zero without the pmem tier).
+func (r *Report) TimeShares() (tx, stm, fb, wait, oh, persist float64) {
 	t := r.Totals
 	return ratio(t.Ttx, t.T), ratio(t.Tstm, t.T), ratio(t.Tfb, t.T),
-		ratio(t.Twait, t.T), ratio(t.Toh, t.T)
+		ratio(t.Twait, t.T), ratio(t.Toh, t.T), ratio(t.Tpersist, t.T)
 }
 
 // StmOverhead returns the instrumentation-overhead ratio of the
@@ -177,6 +178,21 @@ func (r *Report) StmOverhead() float64 {
 // — the call paths paying the most STM instrumentation cost.
 func (r *Report) TopStmOverhead(k int) []HotContext {
 	return r.TopBy(k, func(m *core.Metrics) uint64 { return m.Tstm })
+}
+
+// PersistOverhead returns the persistence-stall ratio of the pmem
+// tier: cycles samples in the durable-commit persist epilogue per
+// critical-section cycles sample (persist ÷ T). Zero without the pmem
+// tier; large values mean durable commits — flushes, the persist
+// fence, the commit record — dominate the critical-section budget.
+func (r *Report) PersistOverhead() float64 {
+	return ratio(r.Totals.Tpersist, r.Totals.T)
+}
+
+// TopPersist ranks contexts by persist-epilogue samples — the flush
+// sites paying the most persistence-stall cycles.
+func (r *Report) TopPersist(k int) []HotContext {
+	return r.TopBy(k, func(m *core.Metrics) uint64 { return m.Tpersist })
 }
 
 // AbortCommitRatio returns r_a/c over sampled application aborts and
@@ -419,12 +435,16 @@ func (r *Report) Render(w io.Writer) {
 	t := r.Totals
 	fmt.Fprintf(w, "=== TxSampler report: %s (%d threads) ===\n", r.Program, r.Threads)
 	fmt.Fprintf(w, "samples: W=%d T=%d (r_cs=%.2f)\n", t.W, t.T, r.Rcs())
-	tx, stm, fb, wait, oh := r.TimeShares()
+	tx, stm, fb, wait, oh, persist := r.TimeShares()
 	fmt.Fprintf(w, "time in CS: tx=%.1f%% fallback=%.1f%% lock-wait=%.1f%% overhead=%.1f%%\n",
 		100*tx, 100*fb, 100*wait, 100*oh)
 	if t.Tstm > 0 {
 		fmt.Fprintf(w, "hybrid: stm=%.1f%% of CS; instrumentation overhead stm/htm=%.2f\n",
 			100*stm, r.StmOverhead())
+	}
+	if t.Tpersist > 0 {
+		fmt.Fprintf(w, "pmem: persist=%.1f%% of CS (persistence stalls: flush+fence+commit-record)\n",
+			100*persist)
 	}
 	fmt.Fprintf(w, "aborts/commits (sampled, scaled): ratio=%.3f mean-weight=%.0f\n",
 		r.AbortCommitRatio(), r.MeanAbortWeight())
@@ -466,6 +486,15 @@ func (r *Report) Render(w io.Writer) {
 			for _, h := range hot {
 				fmt.Fprintf(w, "  %s (stm=%d htm=%d stm/htm=%.2f)\n",
 					h.Path(), h.Metrics.Tstm, h.Metrics.Ttx, ratio(h.Metrics.Tstm, h.Metrics.Ttx))
+			}
+		}
+	}
+	if t.Tpersist > 0 {
+		if hot := r.TopPersist(3); len(hot) > 0 {
+			fmt.Fprintf(w, "hottest persistence-stall (flush) contexts:\n")
+			for _, h := range hot {
+				fmt.Fprintf(w, "  %s (persist=%d, %.1f%% of context CS)\n",
+					h.Path(), h.Metrics.Tpersist, 100*ratio(h.Metrics.Tpersist, h.Metrics.T))
 			}
 		}
 	}

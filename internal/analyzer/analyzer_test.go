@@ -76,9 +76,12 @@ func TestRcsAndShares(t *testing.T) {
 	if got := r.Rcs(); got != 0.45 {
 		t.Errorf("Rcs = %v, want 0.45", got)
 	}
-	tx, stm, fb, wait, oh := r.TimeShares()
+	tx, stm, fb, wait, oh, persist := r.TimeShares()
 	if tx != 10.0/45 || stm != 5.0/45 || fb != 20.0/45 || wait != 5.0/45 || oh != 5.0/45 {
 		t.Errorf("shares = %v %v %v %v %v", tx, stm, fb, wait, oh)
+	}
+	if persist != 0 {
+		t.Errorf("persist share = %v, want 0 without the pmem tier", persist)
 	}
 	if got := r.StmOverhead(); got != 0.5 {
 		t.Errorf("StmOverhead = %v, want 0.5", got)

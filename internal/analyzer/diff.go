@@ -103,13 +103,16 @@ func RenderDiff(w io.Writer, before, after *Report, k int) {
 	row("abort/commit", clampRatio(before.AbortCommitRatio()), clampRatio(after.AbortCommitRatio()), "")
 	row("mean abort weight", before.MeanAbortWeight(), after.MeanAbortWeight(), "cycles")
 	row("wasted work", before.WastedWorkShare(), after.WastedWorkShare(), "share")
-	btx, bstm, bfb, bwait, boh := before.TimeShares()
-	atx, astm, afb, await, aoh := after.TimeShares()
+	btx, bstm, bfb, bwait, boh, bpersist := before.TimeShares()
+	atx, astm, afb, await, aoh, apersist := after.TimeShares()
 	row("T_tx share", btx, atx, "")
 	row("T_stm share", bstm, astm, "")
 	row("T_fb share", bfb, afb, "")
 	row("T_wait share", bwait, await, "")
 	row("T_oh share", boh, aoh, "")
+	if before.Totals.Tpersist > 0 || after.Totals.Tpersist > 0 {
+		row("T_persist share", bpersist, apersist, "")
+	}
 	fmt.Fprintln(w, "top moving contexts (CS samples, abort weight):")
 	for _, d := range Diff(before, after, k) {
 		fmt.Fprintf(w, "  T %5d -> %-5d  AW %8d -> %-8d  %s\n",

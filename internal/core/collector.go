@@ -53,6 +53,13 @@ type Metrics struct {
 	Twait uint64 // … waiting for the global lock
 	Toh   uint64 // … in transaction begin/retry/cleanup overhead
 
+	// Tpersist counts cycles samples in the durable-commit persist
+	// epilogue of the pmem tier (rtm.InFlush): flushes, the persist
+	// fence, the commit record — persistence stalls. Tagged omitempty
+	// so profiles from machines without the pmem tier serialize
+	// byte-identically to earlier versions.
+	Tpersist uint64 `json:"Tpersist,omitempty"`
+
 	// Abort analysis (paper §5), from RTM_RETIRED:ABORTED samples.
 	AbortSamples uint64
 	AbortCount   [htm.NumCauses]uint64 // sampled aborts by cause
@@ -90,6 +97,7 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.Tfb += src.Tfb
 	m.Twait += src.Twait
 	m.Toh += src.Toh
+	m.Tpersist += src.Tpersist
 	m.AbortSamples += src.AbortSamples
 	for i := range m.AbortCount {
 		m.AbortCount[i] += src.AbortCount[i]
@@ -426,6 +434,9 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 			case inTx:
 				m.Ttx++
 				p.Totals.Ttx++
+			case rtm.IsInFlush(s.State):
+				m.Tpersist++
+				p.Totals.Tpersist++
 			case rtm.IsInSTM(s.State):
 				m.Tstm++
 				p.Totals.Tstm++

@@ -95,13 +95,18 @@ func Evaluate(r *analyzer.Report, th Thresholds) *Advice {
 	}
 
 	// (2) Decompose T.
-	tx, stm, fb, wait, oh := r.TimeShares()
+	tx, stm, fb, wait, oh, persist := r.TimeShares()
 	a.step(2, "time decomposition", "tx=%.0f%% stm=%.0f%% fb=%.0f%% wait=%.0f%% oh=%.0f%%",
 		100*tx, 100*stm, 100*fb, 100*wait, 100*oh)
 	if stm >= th.LargeShare {
 		a.step(2, "large T_stm", "software slow path takes %.0f%% of T (stm/htm overhead %.2f)",
 			100*stm, r.StmOverhead())
 		a.suggest("Software transactions dominate: shrink read/write sets or raise the HTM retry budget so more sections commit in hardware.")
+	}
+	if persist >= th.LargeShare {
+		a.step(2, "large T_persist", "persist epilogue takes %.0f%% of T (persistence stalls)",
+			100*persist)
+		a.suggest("Durable commits dominate: batch small persistent transactions, or shrink write sets so each commit flushes fewer lines.")
 	}
 
 	needAbort := false

@@ -74,6 +74,21 @@ type Plan struct {
 	// campaign config hashes.
 	CrashWriteOffset uint64
 
+	// PmemCrashPoint, when set, arms persistent-memory crash injection
+	// (the machine's pmem tier must be enabled): at each triggering
+	// durable commit the machine simulates a whole-machine crash at the
+	// named point of the persist epilogue — one of PmemCrashPoints —
+	// tears the undo log accordingly, runs recovery replay against the
+	// persist-domain image, and resumes as after a reboot. Unlike
+	// CrashWriteOffset this perturbs the run itself, so it counts
+	// toward Enabled. PmemCrashTx fires once, at the Nth durable
+	// commit; PmemCrashEvery fires at every Nth durable commit (a crash
+	// storm). With a point set and neither trigger, PmemCrashTx
+	// defaults to 1.
+	PmemCrashPoint string
+	PmemCrashTx    uint64
+	PmemCrashEvery uint64
+
 	// Storms inject bursty correlated faults: every StormPeriod
 	// operations a storm runs for StormLength operations during which
 	// every rate above is multiplied by StormFactor (default 10,
@@ -84,12 +99,43 @@ type Plan struct {
 	StormFactor float64
 }
 
+// The persistent-memory crash-point taxonomy (DESIGN.md §13): where in
+// the durable-commit epilogue the injected crash lands.
+const (
+	// PmemCrashBeforeFlush crashes with the undo log fully durable but
+	// before any data-line flush: recovery rolls the whole transaction
+	// back.
+	PmemCrashBeforeFlush = "before-flush"
+	// PmemCrashMidLog crashes during undo logging: only a prefix of the
+	// transaction's log entries is durable (and, by the undo-ordering
+	// invariant, only those lines' data can have reached the persist
+	// domain).
+	PmemCrashMidLog = "mid-log"
+	// PmemCrashTornTail crashes mid-append: the log ends inside a
+	// record, which recovery must detect by its checksum.
+	PmemCrashTornTail = "torn-tail"
+	// PmemCrashAfterCommit crashes after the commit record is durable:
+	// recovery finds a committed log and rolls nothing back.
+	PmemCrashAfterCommit = "after-commit"
+)
+
+// PmemCrashPoints lists the valid Plan.PmemCrashPoint values.
+var PmemCrashPoints = []string{
+	PmemCrashBeforeFlush, PmemCrashMidLog, PmemCrashTornTail, PmemCrashAfterCommit,
+}
+
 // Enabled reports whether the plan injects anything.
 func (p Plan) Enabled() bool {
 	return p.SpuriousAbortRate > 0 || p.SampleDropRate > 0 || p.CoalesceWindow > 0 ||
 		p.LBRTruncateRate > 0 || p.LBRStaleRate > 0 || p.LBRClearAbortRate > 0 ||
-		p.StallRate > 0 || p.ClockSkewRate > 0
+		p.StallRate > 0 || p.ClockSkewRate > 0 || p.PmemArmed()
 }
+
+// PmemArmed reports whether the plan injects persistent-memory
+// crashes. The pmem crash machinery lives in the machine's pmem tier,
+// not the per-thread injector, but an armed plan perturbs the run and
+// so counts as enabled.
+func (p Plan) PmemArmed() bool { return p.PmemCrashPoint != "" }
 
 // MachineOnly returns the plan with storage-side faults stripped:
 // only the regimes that perturb the run itself remain. Campaign config
@@ -117,17 +163,35 @@ func (p Plan) Validate() error {
 	}
 	for _, r := range rates {
 		if r.v < 0 || r.v > 1 {
-			return fmt.Errorf("faults: %s rate %g outside [0,1]", r.name, r.v)
+			return fmt.Errorf("faults: %s rate %g outside [0,1] (valid presets: %s)",
+				r.name, r.v, strings.Join(PresetNames(), ", "))
 		}
 	}
 	if p.StormFactor < 0 {
-		return fmt.Errorf("faults: storm factor %g negative", p.StormFactor)
+		return fmt.Errorf("faults: storm factor %g negative (valid presets: %s)",
+			p.StormFactor, strings.Join(PresetNames(), ", "))
 	}
 	if p.StormPeriod > 0 && p.StormLength == 0 {
 		return fmt.Errorf("faults: storm period set but storm length is zero")
 	}
 	if p.StormLength > p.StormPeriod && p.StormPeriod > 0 {
 		return fmt.Errorf("faults: storm length %d exceeds period %d", p.StormLength, p.StormPeriod)
+	}
+	if p.PmemCrashPoint != "" {
+		valid := false
+		for _, pt := range PmemCrashPoints {
+			if p.PmemCrashPoint == pt {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fmt.Errorf("faults: unknown pmem crash point %q (valid points: %s; valid presets: %s)",
+				p.PmemCrashPoint, strings.Join(PmemCrashPoints, ", "), strings.Join(PresetNames(), ", "))
+		}
+	} else if p.PmemCrashTx > 0 || p.PmemCrashEvery > 0 {
+		return fmt.Errorf("faults: pmem crash trigger set without pmem-crash point (valid points: %s)",
+			strings.Join(PmemCrashPoints, ", "))
 	}
 	return nil
 }
@@ -142,8 +206,15 @@ func (p Plan) withDefaults() Plan {
 	if p.StormPeriod > 0 && p.StormFactor == 0 {
 		p.StormFactor = 10
 	}
+	if p.PmemCrashPoint != "" && p.PmemCrashTx == 0 && p.PmemCrashEvery == 0 {
+		p.PmemCrashTx = 1
+	}
 	return p
 }
+
+// WithDefaults returns the plan with defaulted fields filled in; the
+// machine's pmem tier uses it to read the effective crash trigger.
+func (p Plan) WithDefaults() Plan { return p.withDefaults() }
 
 // String renders the plan in the key=value form ParsePlan accepts.
 func (p Plan) String() string {
@@ -169,6 +240,11 @@ func (p Plan) String() string {
 	add("skew", p.ClockSkewRate)
 	addU("skew-cycles", p.ClockSkewCycles)
 	addU("crash-write", p.CrashWriteOffset)
+	if p.PmemCrashPoint != "" {
+		parts = append(parts, "pmem-crash="+p.PmemCrashPoint)
+	}
+	addU("pmem-crash-tx", p.PmemCrashTx)
+	addU("pmem-crash-every", p.PmemCrashEvery)
 	addU("storm-period", p.StormPeriod)
 	addU("storm-len", p.StormLength)
 	add("storm-factor", p.StormFactor)
@@ -194,6 +270,19 @@ var Presets = map[string]Plan{
 		StallRate: 0.001, StallCycles: 3000, ClockSkewRate: 0.02,
 		StormPeriod: 8000, StormLength: 500, StormFactor: 10,
 	},
+	// The pmem presets require a machine with the persistent tier
+	// enabled; on a machine without tracked durable lines they inject
+	// nothing.
+	"torn-flush":    {PmemCrashPoint: PmemCrashTornTail, PmemCrashEvery: 5},
+	"crash-mid-log": {PmemCrashPoint: PmemCrashMidLog, PmemCrashEvery: 5},
+}
+
+// PmemPreset reports whether the named preset is one of the
+// persistent-memory crash presets (which need a pmem-enabled machine
+// to inject anything).
+func PmemPreset(name string) bool {
+	p, ok := Presets[name]
+	return ok && p.PmemArmed()
 }
 
 // PresetNames returns the preset names, sorted.
@@ -254,6 +343,15 @@ func ParsePlan(s string) (Plan, error) {
 		case "crash-write":
 			p.CrashWriteOffset = uv
 			ferr = uerr
+		case "pmem-crash":
+			p.PmemCrashPoint = val
+			ferr = nil
+		case "pmem-crash-tx":
+			p.PmemCrashTx = uv
+			ferr = uerr
+		case "pmem-crash-every":
+			p.PmemCrashEvery = uv
+			ferr = uerr
 		case "storm-period":
 			p.StormPeriod = uv
 			ferr = uerr
@@ -288,6 +386,12 @@ type Stats struct {
 	StallCycles      uint64 `json:"stall_cycles,omitempty"`
 	ClockSkews       uint64 `json:"clock_skews,omitempty"`
 	StormOps         uint64 `json:"storm_ops,omitempty"`
+
+	// Persistent-memory crash injection (counted by the machine's pmem
+	// tier, not a per-thread injector).
+	PmemCrashes    uint64 `json:"pmem_crashes,omitempty"`
+	PmemRolledBack uint64 `json:"pmem_rolled_back,omitempty"`
+	PmemTornTails  uint64 `json:"pmem_torn_tails,omitempty"`
 }
 
 // Merge accumulates src into s.
@@ -302,13 +406,19 @@ func (s *Stats) Merge(src Stats) {
 	s.StallCycles += src.StallCycles
 	s.ClockSkews += src.ClockSkews
 	s.StormOps += src.StormOps
+	s.PmemCrashes += src.PmemCrashes
+	s.PmemRolledBack += src.PmemRolledBack
+	s.PmemTornTails += src.PmemTornTails
 }
 
-// Total returns the number of injected faults of every kind (storm ops
-// and stall cycles are bookkeeping, not faults, and are excluded).
+// Total returns the number of injected faults of every kind (storm ops,
+// stall cycles, and recovery rollback counts are bookkeeping, not
+// faults, and are excluded; a torn tail is an aspect of its crash, not
+// a second fault).
 func (s Stats) Total() uint64 {
 	return s.SpuriousAborts + s.DroppedSamples + s.CoalescedSamples +
-		s.TruncatedLBRs + s.StaleLBRs + s.ClearedAbortBits + s.Stalls + s.ClockSkews
+		s.TruncatedLBRs + s.StaleLBRs + s.ClearedAbortBits + s.Stalls + s.ClockSkews +
+		s.PmemCrashes
 }
 
 // Injector is one thread's fault source. It must only be used from the

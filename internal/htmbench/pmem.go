@@ -1,0 +1,117 @@
+package htmbench
+
+import (
+	"fmt"
+
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+)
+
+// The pmem suite exercises the persistent-memory tier: transactional
+// updates to durable regions, modeled on persistent key-value stores
+// (go-redis-pmem) and persistent append-only logs. Durable regions are
+// registered with machine.PmemTrack at build time; with the pmem tier
+// disabled the workloads run (and Check) identically as plain volatile
+// programs.
+//
+// Crash-recovery soundness constraint: transactional stores inside the
+// critical sections touch only thread-private durable lines, so an
+// injected crash that rolls one thread's section back and re-executes
+// it cannot interfere with another thread's committed durable state.
+
+func init() {
+	Register(&Workload{
+		Name:  "pmem/kv",
+		Suite: "pmem",
+		Desc:  "per-thread durable KV shard: each put updates a value word and an update counter on one persistent line",
+		Build: func(ctx *Ctx) *Instance {
+			const slots = 4 // durable lines per thread shard
+			const iters = 120
+			shard := newPadded(ctx.M, ctx.Threads*slots)
+			ctx.M.PmemTrack(shard.at(0), ctx.Threads*slots*mem.WordsPerLine)
+			slot := func(tid, s int) mem.Addr { return shard.at(tid*slots + s) }
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.Func("kv_put", func() {
+								t.At("durable_update")
+								a := slot(t.ID, i%slots)
+								v := t.Load(a)
+								t.Compute(10)
+								t.Store(a, v+uint64(i)+1)
+								t.Store(a.Offset(1), t.Load(a.Offset(1))+1)
+							})
+						})
+						t.Compute(30)
+					}
+				}),
+				Check: func(m *machine.Machine) error {
+					for tid := 0; tid < ctx.Threads; tid++ {
+						for s := 0; s < slots; s++ {
+							var val, n uint64
+							for i := s; i < iters; i += slots {
+								val += uint64(i) + 1
+								n++
+							}
+							a := slot(tid, s)
+							if got := m.Mem.Load(a); got != val {
+								return fmt.Errorf("kv slot t%d/%d = %d, want %d", tid, s, got, val)
+							}
+							if got := m.Mem.Load(a.Offset(1)); got != n {
+								return fmt.Errorf("kv count t%d/%d = %d, want %d", tid, s, got, n)
+							}
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "pmem/log",
+		Suite: "pmem",
+		Desc:  "per-thread durable append-only log: each append writes an entry and bumps a persistent cursor (two durable lines per commit)",
+		Build: func(ctx *Ctx) *Instance {
+			const iters = 160
+			// Entry space rounded up to whole lines so each thread's log
+			// lines are private to it.
+			entryLines := (iters + mem.WordsPerLine - 1) / mem.WordsPerLine
+			logs := newPadded(ctx.M, ctx.Threads*entryLines)
+			cursors := newPadded(ctx.M, ctx.Threads)
+			ctx.M.PmemTrack(logs.at(0), ctx.Threads*entryLines*mem.WordsPerLine)
+			ctx.M.PmemTrack(cursors.at(0), ctx.Threads*mem.WordsPerLine)
+			logBase := func(tid int) mem.Addr { return logs.at(tid * entryLines) }
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						ctx.Lock.Run(t, func() {
+							t.Func("log_append", func() {
+								t.At("durable_append")
+								cur := t.Load(cursors.at(t.ID))
+								t.Store(logBase(t.ID).Offset(int(cur)), uint64(3*i)+uint64(t.ID)+1)
+								t.Store(cursors.at(t.ID), cur+1)
+							})
+						})
+						t.Compute(20)
+					}
+				}),
+				Check: func(m *machine.Machine) error {
+					for tid := 0; tid < ctx.Threads; tid++ {
+						if got := m.Mem.Load(cursors.at(tid)); got != iters {
+							return fmt.Errorf("log cursor t%d = %d, want %d", tid, got, iters)
+						}
+						for i := 0; i < iters; i++ {
+							want := uint64(3*i) + uint64(tid) + 1
+							if got := m.Mem.Load(logBase(tid).Offset(i)); got != want {
+								return fmt.Errorf("log entry t%d[%d] = %d, want %d", tid, i, got, want)
+							}
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+}

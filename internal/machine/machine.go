@@ -30,6 +30,7 @@ import (
 	"txsampler/internal/faults"
 	"txsampler/internal/htm"
 	"txsampler/internal/mem"
+	"txsampler/internal/pmem"
 	"txsampler/internal/pmu"
 	"txsampler/internal/telemetry"
 )
@@ -111,6 +112,14 @@ type Config struct {
 	// aborts, PMU sample loss, LBR corruption, stalls, storms). The
 	// zero plan injects nothing; see the faults package.
 	Faults faults.Plan
+
+	// Pmem configures the simulated persistent-memory tier: a persist
+	// domain behind the volatile memory, eager undo logging on
+	// transactional stores to tracked regions, and flush/fence/commit
+	// persistence costs. Disabled (the zero value), the machine has no
+	// persist domain and behaves bit-identically to earlier versions;
+	// see the pmem package.
+	Pmem pmem.Config
 
 	// Watchdog bounds the real time the scheduler waits without any
 	// thread completing an operation before declaring the machine
@@ -213,7 +222,14 @@ func (c Config) Validate() error {
 	if err := (htm.Config{Sets: d.Cache.Sets, Ways: d.Cache.Ways, MaxReadLines: d.MaxReadLines}).Validate(); err != nil {
 		return err
 	}
-	return c.Faults.Validate()
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.PmemArmed() && !c.Pmem.Enabled {
+		return fmt.Errorf("machine: fault plan arms pmem crash point %q but the pmem tier is disabled",
+			c.Faults.PmemCrashPoint)
+	}
+	return nil
 }
 
 // sharded resolves the scheduler choice for a defaulted Config. The
@@ -260,6 +276,7 @@ type Machine struct {
 	threads []*Thread
 	handler SampleHandler
 	sched   *scheduler
+	pmem    *pmem.Domain // nil unless Config.Pmem.Enabled
 
 	ran bool
 }
@@ -324,6 +341,9 @@ func New(cfg Config) *Machine {
 		}),
 		sched: &scheduler{done: make(chan error, 1)},
 	}
+	if cfg.Pmem.Enabled {
+		m.pmem = pmem.New(cfg.Pmem, cfg.Faults, cfg.Threads)
+	}
 	m.sched.sharded = cfg.sharded()
 	if m.sched.sharded {
 		m.sched.clocks = make([]paddedClock, cfg.Threads)
@@ -344,6 +364,19 @@ func (m *Machine) SetHandler(h SampleHandler) { m.handler = h }
 // Thread returns thread i, for pre-Run configuration by tests.
 func (m *Machine) Thread(i int) *Thread { return m.threads[i] }
 
+// Pmem returns the persistent-memory domain, or nil when the tier is
+// disabled.
+func (m *Machine) Pmem() *pmem.Domain { return m.pmem }
+
+// PmemTrack registers [base, base+words*WordSize) as durable. A no-op
+// when the pmem tier is disabled, so workloads with durable regions
+// run unchanged on volatile-only machines.
+func (m *Machine) PmemTrack(base mem.Addr, words int) {
+	if m.pmem != nil {
+		m.pmem.Track(base, words)
+	}
+}
+
 // Run executes one body per configured thread to completion and
 // returns the first workload panic as an error (simulated aborts are
 // handled internally and never escape). Run may be called once.
@@ -354,6 +387,12 @@ func (m *Machine) Run(bodies ...func(*Thread)) error {
 	m.ran = true
 	if len(bodies) != m.cfg.Threads {
 		panic(fmt.Sprintf("machine: %d bodies for %d threads", len(bodies), m.cfg.Threads))
+	}
+	if m.pmem != nil {
+		// Capture the post-initialization image of the durable regions:
+		// build-time stores happened before the machine ran, so the
+		// persist domain starts consistent with volatile memory.
+		m.pmem.Sync(m.Mem)
 	}
 	s := m.sched
 	s.live = make([]*Thread, len(m.threads))
@@ -649,6 +688,9 @@ func (m *Machine) FaultStats() faults.Stats {
 		if t.inj != nil {
 			s.Merge(t.inj.Stats)
 		}
+	}
+	if m.pmem != nil {
+		s.Merge(m.pmem.FaultStats())
 	}
 	return s
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -658,6 +659,9 @@ func (t *Thread) Store(a mem.Addr, v mem.Word) {
 		r := t.m.Caches.Access(t.ID, a, true)
 		t.m.Mem.Store(a, v)
 		cost = uint64(r.Latency) + t.m.cfg.MemPenalty
+		if t.m.pmem != nil {
+			cost += t.m.pmem.OnStore(t.ID, a, v)
+		}
 	}
 	t.endOp(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, cost)
 }
@@ -697,8 +701,11 @@ func (t *Thread) AtomicCAS(a mem.Addr, old, new mem.Word) bool {
 		if t.m.Mem.Load(a) == old {
 			t.m.Mem.Store(a, new)
 			ok = true
+			if t.m.pmem != nil {
+				cost += t.m.pmem.OnStore(t.ID, a, new)
+			}
 		}
-		cost = uint64(r.Latency) + t.m.cfg.Costs.Atomic
+		cost += uint64(r.Latency) + t.m.cfg.Costs.Atomic
 	}
 	t.endOp(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, cost)
 	return ok
@@ -728,6 +735,9 @@ func (t *Thread) AtomicAdd(a mem.Addr, d int64) mem.Word {
 		v = t.m.Mem.Load(a) + mem.Word(d)
 		t.m.Mem.Store(a, v)
 		cost = uint64(r.Latency) + t.m.cfg.Costs.Atomic
+		if t.m.pmem != nil {
+			cost += t.m.pmem.OnStore(t.ID, a, v)
+		}
 	}
 	t.endOp(opMeta{ev: pmu.Stores, n: 1, hasEv: true, addr: a, isWrite: true, hasAddr: true}, cost)
 	return v
@@ -799,6 +809,77 @@ func (t *Thread) Func(fn string, f func()) {
 // sample attribution. It is free: no cycles, no scheduling point.
 func (t *Thread) At(site string) { t.stack[len(t.stack)-1].site = site }
 
+// --- Persistent-memory operations ---
+
+// PmemSectionBegin opens the thread's durable section; the rtm runtime
+// calls it at critical-section entry. Free (no cycles, no scheduling
+// point) and a no-op when the pmem tier is disabled.
+func (t *Thread) PmemSectionBegin() {
+	if t.m.pmem != nil {
+		t.m.pmem.Begin(t.ID)
+	}
+}
+
+// PmemPending reports whether the current durable section stored to
+// tracked lines and so must run the persist epilogue.
+func (t *Thread) PmemPending() bool {
+	return t.m.pmem != nil && t.m.pmem.Pending(t.ID)
+}
+
+// pmemOp is one cost-bearing persistence operation (a flush, fence, or
+// commit-record write). It runs outside any transaction, so the only
+// observable effects are cycles — the persistence stall the profiler
+// samples — and PMU interrupts.
+func (t *Thread) pmemOp(cost uint64) {
+	t.startOp()
+	t.endOp(opMeta{}, cost)
+}
+
+// pmemCrash injects a whole-machine crash and its recovery at the
+// thread's canonical position: the domain tears the undo log for the
+// crash class, replays it against the persist image, and reloads the
+// volatile copies of the transaction's lines (the reboot).
+func (t *Thread) pmemCrash(class string) {
+	t.Exclusive(func() {
+		t.m.pmem.Crash(t.ID, class, t.m.Mem)
+	})
+}
+
+// PmemPersist runs the durable-commit epilogue for the current
+// section: flush every logged line (address order), fence, then write
+// and persist the commit record. The rtm runtime calls it, inside a
+// pmem_persist frame with the InFlush state bit set, after the
+// critical section's memory effects committed. It returns whether an
+// injected crash fired and whether the transaction is durably
+// committed — (true, false) means the caller must re-execute the
+// section, as the post-reboot application would.
+func (t *Thread) PmemPersist() (crashed, committed bool) {
+	d := t.m.pmem
+	var class string
+	t.Exclusive(func() { class = d.Arm(t.ID) })
+	if class != "" && class != faults.PmemCrashAfterCommit {
+		// The crash lands before the commit record is durable: either
+		// before any data flush (log complete) or during logging (log
+		// torn). Recovery rolls the transaction back.
+		t.pmemCrash(class)
+		return true, false
+	}
+	costs := d.Costs()
+	for range d.DirtyLines(t.ID) {
+		t.pmemOp(costs.FlushCost) // CLWB one durable line
+	}
+	t.pmemOp(costs.FenceCost) // drain the write-pending queue
+	t.startOp()
+	t.m.pmem.Commit(t.ID)
+	t.endOp(opMeta{}, costs.CommitCost)
+	if class == faults.PmemCrashAfterCommit {
+		t.pmemCrash(class)
+		return true, true
+	}
+	t.Exclusive(func() { d.Complete(t.ID) })
+	return false, true
+}
+
 // --- Transactions ---
 
 // MaxTxNest is the architectural nesting limit; exceeding it aborts
@@ -848,8 +929,24 @@ func (t *Thread) TxCommit() {
 	}
 	var cost uint64
 	if stores, ok := t.m.HTM.Commit(t.tx); ok {
-		for a, v := range stores {
-			t.m.Mem.Store(a, v)
+		if d := t.m.pmem; d != nil {
+			// The write-through hook appends undo records, so the buffered
+			// stores must apply in a deterministic (address) order for the
+			// log bytes to be reproducible. The volatile-only machine keeps
+			// the original unordered apply: map order is invisible there.
+			addrs := make([]mem.Addr, 0, len(stores))
+			for a := range stores {
+				addrs = append(addrs, a)
+			}
+			sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+			for _, a := range addrs {
+				t.m.Mem.Store(a, stores[a])
+				cost += d.OnStore(t.ID, a, stores[a])
+			}
+		} else {
+			for a, v := range stores {
+				t.m.Mem.Store(a, v)
+			}
 		}
 		t.commits++
 		t.TraceEvent(telemetry.Event{
@@ -857,7 +954,7 @@ func (t *Thread) TxCommit() {
 			Dur: t.clock - t.tx.StartCycle, TID: int32(t.ID),
 		})
 		t.tx = nil
-		cost = t.m.cfg.Costs.TxEnd
+		cost += t.m.cfg.Costs.TxEnd
 	}
 	// Doomed: cost stays 0 and the endOp doom check unwinds.
 	t.endOp(opMeta{ev: pmu.TxCommit, n: 1, hasEv: true}, cost)

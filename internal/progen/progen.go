@@ -84,6 +84,21 @@ const (
 	KindStmCapacity
 )
 
+// Pmem-biased templates, selected only under Config.PmemBias: durable
+// regions registered with the machine's persistent-memory tier, so
+// every committed section runs the durable-commit persist epilogue —
+// the workloads the persistence-stall classification validation runs
+// on. Durable lines are strictly thread-private, keeping generated
+// programs sound under crash injection and section re-execution.
+const (
+	// KindPmemKV read-modify-writes one durable per-thread line, as a
+	// persistent key-value store's put path would.
+	KindPmemKV Kind = KindStmCapacity + 1 + iota
+	// KindPmemLog appends to a durable per-thread log and bumps a
+	// durable cursor: two persistent lines per commit.
+	KindPmemLog
+)
+
 func (k Kind) String() string {
 	switch k {
 	case KindPrivate:
@@ -104,6 +119,10 @@ func (k Kind) String() string {
 		return "stm-conflict"
 	case KindStmCapacity:
 		return "stm-capacity"
+	case KindPmemKV:
+		return "pmem-kv"
+	case KindPmemLog:
+		return "pmem-log"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -186,6 +205,13 @@ type Config struct {
 	// non-biased programs generate: with StmBias false the draw
 	// sequence is byte-identical to earlier versions.
 	StmBias bool
+	// PmemBias switches generation to the durable template mix
+	// (KindPmemKV/KindPmemLog plus base kinds) for persistence-stall
+	// validation; the program's workload registers its durable regions
+	// with machine.PmemTrack at build time. Mutually exclusive with
+	// StmBias (PmemBias wins). With PmemBias false the draw sequence
+	// is byte-identical to earlier versions.
+	PmemBias bool
 }
 
 func (c Config) withDefaults(rng *rand.Rand) Config {
@@ -216,6 +242,10 @@ func Generate(cfg Config) *Program {
 	if cfg.StmBias {
 		name = fmt.Sprintf("progen/stm-s%d", cfg.Seed)
 	}
+	if cfg.PmemBias {
+		cfg.StmBias = false
+		name = fmt.Sprintf("progen/pmem-s%d", cfg.Seed)
+	}
 	p := &Program{
 		Name:    name,
 		Seed:    cfg.Seed,
@@ -227,12 +257,22 @@ func Generate(cfg Config) *Program {
 	// in every execution mode (software path, lock path, waiting, and
 	// the hardware path of the unforced kinds).
 	stmMix := []Kind{KindStmConflict, KindStmCapacity, KindPrivate, KindTrueShare, KindSyscall}
+	// The pmem mix pins both durable templates, then draws from
+	// templates that also spend time in the other execution modes so
+	// persistence stalls compete with real transactional work.
+	pmemMix := []Kind{KindPmemKV, KindPmemLog, KindPrivate, KindTrueShare, KindSyscall}
 	// The first two regions always pin down one contended and one
 	// private template so every program has both a known sharing site
 	// and a low-abort baseline; the rest draw from the full mix.
 	for i := 0; i < cfg.Regions; i++ {
 		var kind Kind
 		switch {
+		case cfg.PmemBias && i == 0:
+			kind = KindPmemKV
+		case cfg.PmemBias && i == 1:
+			kind = KindPmemLog
+		case cfg.PmemBias:
+			kind = pmemMix[rng.Intn(len(pmemMix))]
 		case cfg.StmBias && i == 0:
 			kind = KindStmConflict
 		case cfg.StmBias && i == 1:
@@ -355,6 +395,29 @@ func (p *Program) build(ctx *htmbench.Ctx) *htmbench.Instance {
 				}
 				lay.capacity[i][tid] = lines
 			}
+		case KindPmemKV:
+			lay.private[i] = make([]mem.Addr, ctx.Threads)
+			for tid := 0; tid < ctx.Threads; tid++ {
+				lay.private[i][tid] = m.Mem.AllocLines(1)
+				m.PmemTrack(lay.private[i][tid], mem.WordsPerLine)
+			}
+		case KindPmemLog:
+			// Per-thread durable cursor line plus a contiguous durable
+			// entry array sized for one word per iteration.
+			lay.private[i] = make([]mem.Addr, ctx.Threads)
+			lay.capacity[i] = make([][]mem.Addr, ctx.Threads)
+			entryLines := (p.Iters + mem.WordsPerLine - 1) / mem.WordsPerLine
+			for tid := 0; tid < ctx.Threads; tid++ {
+				lay.private[i][tid] = m.Mem.AllocLines(1)
+				m.PmemTrack(lay.private[i][tid], mem.WordsPerLine)
+				base := m.Mem.AllocLines(entryLines)
+				lines := make([]mem.Addr, entryLines)
+				for j := 0; j < entryLines; j++ {
+					lines[j] = base.Offset(j * mem.WordsPerLine)
+				}
+				lay.capacity[i][tid] = lines
+				m.PmemTrack(base, entryLines*mem.WordsPerLine)
+			}
 		default:
 			lay.private[i] = make([]mem.Addr, ctx.Threads)
 			for tid := 0; tid < ctx.Threads; tid++ {
@@ -465,6 +528,24 @@ func (p *Program) access(lay *layout, r *Region, t *machine.Thread, tid, it int)
 		for _, line := range lay.capacity[i][tid] {
 			t.Store(line, mem.Word(it)+1)
 		}
+	case KindPmemKV:
+		// Durable put: read-modify-write one thread-private persistent
+		// line; every commit pays the persist epilogue for it.
+		line := lay.private[i][tid]
+		v := t.Load(line)
+		t.Compute(r.Compute)
+		t.Store(line, v+1)
+	case KindPmemLog:
+		// Durable append: write the next entry word and bump the
+		// cursor — two persistent lines dirty per commit. The cursor
+		// is read transactionally, so a discarded attempt (crash,
+		// abort) re-derives the same slot on re-execution.
+		cursor := lay.private[i][tid]
+		cur := int(t.Load(cursor))
+		t.Compute(r.Compute)
+		lines := lay.capacity[i][tid]
+		t.Store(lines[cur/mem.WordsPerLine].Offset(cur%mem.WordsPerLine), mem.Word(it)+1)
+		t.Store(cursor, mem.Word(cur)+1)
 	case KindNested:
 		t.Compute(r.Compute)
 		// A nested transaction: in the speculative path it flattens
@@ -517,6 +598,19 @@ func (p *Program) check(threads int, lay *layout) func(m *machine.Machine) error
 					for j, line := range lay.capacity[i][tid] {
 						if got := m.Mem.Load(line); got != iters {
 							return fmt.Errorf("progen: region %d (%s): thread %d line %d = %d, want %d", i, r.Kind, tid, j, got, iters)
+						}
+					}
+				}
+			case KindPmemLog:
+				for tid := 0; tid < threads; tid++ {
+					if got := m.Mem.Load(lay.private[i][tid]); got != iters {
+						return fmt.Errorf("progen: region %d (%s): thread %d cursor = %d, want %d", i, r.Kind, tid, got, iters)
+					}
+					lines := lay.capacity[i][tid]
+					for j := 0; j < p.Iters; j++ {
+						a := lines[j/mem.WordsPerLine].Offset(j % mem.WordsPerLine)
+						if got := m.Mem.Load(a); got != mem.Word(j)+1 {
+							return fmt.Errorf("progen: region %d (%s): thread %d entry %d = %d, want %d", i, r.Kind, tid, j, got, j+1)
 						}
 					}
 				}

@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+	"txsampler/internal/pmem"
 )
 
 // benchCS drives threads through b.N total critical sections, each
@@ -47,6 +49,59 @@ func benchCS(b *testing.B, threads int, hybrid machine.HybridPolicy, force bool)
 	b.StopTimer()
 	ops := float64(perThread) * float64(threads)
 	b.ReportMetric(ops/b.Elapsed().Seconds(), "cs/sec")
+}
+
+// benchPmemCS is benchCS over durable per-thread counters: every
+// committed section dirties one tracked line, so with the tier on each
+// commit pays the full persist epilogue (log append, flush, fence,
+// commit record) on top of the hardware commit.
+func benchPmemCS(b *testing.B, threads int, durable bool) {
+	b.ReportAllocs()
+	perThread := b.N/threads + 1
+	m := machine.New(machine.Config{
+		Threads: threads, Seed: 1,
+		Pmem: pmem.Config{Enabled: durable},
+	})
+	l := NewLock(m)
+	base := m.Mem.AllocLines(threads)
+	if durable {
+		m.PmemTrack(base, threads*mem.WordsPerLine)
+	}
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(th *machine.Thread) {
+			ctr := base.Offset(th.ID * mem.WordsPerLine)
+			for i := 0; i < perThread; i++ {
+				l.Run(th, func() { th.Add(ctr, 1) })
+			}
+		})
+		close(done)
+	}()
+	<-done
+	b.StopTimer()
+	ops := float64(perThread) * float64(threads)
+	b.ReportMetric(ops/b.Elapsed().Seconds(), "cs/sec")
+}
+
+// BenchmarkPmemOpsPerSec prices the persistent tier: critical sections
+// per second with the tier off (plain hardware commits) and on (every
+// commit runs the durable persist epilogue). CI holds the on/off
+// throughput ratio above a floor with benchdiff -ratio — the epilogue
+// must stay a bounded multiplier, not a cliff.
+func BenchmarkPmemOpsPerSec(b *testing.B) {
+	const threads = 4
+	for _, c := range []struct {
+		name    string
+		durable bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(fmt.Sprintf("%dthreads-%s", threads, c.name), func(b *testing.B) {
+			benchPmemCS(b, threads, c.durable)
+		})
+	}
 }
 
 // BenchmarkSTMOpsPerSec compares the three ways a critical section can

@@ -40,6 +40,10 @@ const (
 	// InSTM: executing in the instrumented software-transaction slow
 	// path (the hybrid-TM extension; not part of the paper's Figure 4).
 	InSTM
+	// InFlush: executing the durable-commit persist epilogue of the
+	// pmem tier — flushing logged lines, draining the persist fence,
+	// writing the commit record (not part of the paper's Figure 4).
+	InFlush
 )
 
 // The query functions of the profiler-facing state API (Figure 4).
@@ -64,6 +68,11 @@ func IsInHTM(s uint32) bool { return s&InHTM != 0 }
 // plain instrumented software, so the handler observes it live.
 func IsInSTM(s uint32) bool { return s&InSTM != 0 }
 
+// IsInFlush reports whether the state word shows the persist epilogue.
+// Like InSTM it survives PMU interrupts: the epilogue runs outside any
+// hardware transaction, so the handler observes the bit live.
+func IsInFlush(s uint32) bool { return s&InFlush != 0 }
+
 // Mode is the execution-mode classification of one cycles sample
 // under hybrid TM: the paper's Figure 4 buckets extended with the
 // instrumented software path. ModeHTM is only observable through the
@@ -86,6 +95,9 @@ const (
 	ModeWaiting
 	// ModeOverhead: transaction begin/retry/cleanup bookkeeping.
 	ModeOverhead
+	// ModeFlush: the durable-commit persist epilogue (flush, fence,
+	// commit record) of the pmem tier — persistence stalls.
+	ModeFlush
 
 	// NumModes sizes confusion matrices over Mode.
 	NumModes
@@ -94,6 +106,7 @@ const (
 var modeNames = [...]string{
 	ModeNone: "none", ModeHTM: "htm", ModeSTM: "stm",
 	ModeLock: "lock", ModeWaiting: "waiting", ModeOverhead: "overhead",
+	ModeFlush: "flush",
 }
 
 func (m Mode) String() string {
@@ -115,6 +128,8 @@ func ModeOf(state uint32, inTx bool) Mode {
 		return ModeHTM
 	case !IsInCS(state):
 		return ModeNone
+	case IsInFlush(state):
+		return ModeFlush
 	case IsInSTM(state):
 		return ModeSTM
 	case IsInFallback(state):
@@ -397,11 +412,22 @@ func NewLock(m *machine.Machine) *Lock {
 // (the inner elision observes the self-held lock forever). Nesting on
 // distinct locks, or within machine.Attempt, flattens as TSX does.
 func (l *Lock) Run(t *machine.Thread, body func()) {
-	t.Func("tm_begin", func() { l.critical(t, body) })
+	t.Func("tm_begin", func() {
+		// A section that durably committed (or touched no durable
+		// lines) is done; an injected pmem crash without a durable
+		// commit rolls the section back and re-executes it, as the
+		// post-reboot process would.
+		for !l.critical(t, body) {
+		}
+	})
 }
 
-func (l *Lock) critical(t *machine.Thread, body func()) {
+// critical runs one execution attempt of the section and reports
+// whether its effects are settled — true unless an injected pmem crash
+// discarded them, in which case the caller re-executes.
+func (l *Lock) critical(t *machine.Thread, body func()) bool {
 	l.resetRunOn(t)
+	t.PmemSectionBegin()
 	l.emit(t, EventBegin)
 	hybrid := l.Hybrid != HybridLockOnly
 	retries, lockBusy := 0, 0
@@ -458,12 +484,13 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 			t.State = InCS | InOverhead
 			t.Compute(l.overheadCycles)
 			l.emit(t, EventCommit)
+			ok := l.persist(t)
 			t.State = 0
 			t.Exclusive(func() {
 				l.Stats.Commits++
 				l.noteOutcome(true, htm.None)
 			})
-			return
+			return ok
 		}
 
 		l.emit(t, EventAbort)
@@ -507,7 +534,7 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 	// Instrumented software slow path: before serializing through the
 	// lock, hybrid policies retry the body as a software transaction.
 	if hybrid && l.runSTM(t, body) {
-		return
+		return l.persist(t)
 	}
 
 	// Fallback path: acquire the global lock. The CAS is a
@@ -538,8 +565,32 @@ func (l *Lock) critical(t *machine.Thread, body func()) {
 		TID: int32(t.ID), Name: "fallback-lock",
 	})
 	l.emit(t, EventFallback)
+	ok := l.persist(t)
 	t.State = 0
 	t.Exclusive(func() { l.Stats.Fallbacks++ })
+	return ok
+}
+
+// persist runs the durable-commit epilogue when the section stored to
+// tracked persistent lines: flush each logged line, drain the persist
+// fence, write the commit record. It runs inside a pmem_persist frame
+// with the InFlush state bit set, so samples landing here classify as
+// persistence stalls and attribute to the flush site in the CCT. The
+// return value is false exactly when an injected crash discarded the
+// section (crashed without a durable commit record) and the caller
+// must re-execute it.
+func (l *Lock) persist(t *machine.Thread) bool {
+	if !t.PmemPending() {
+		return true
+	}
+	prev := t.State
+	t.State = InCS | InFlush
+	crashed, committed := false, true
+	t.Func("pmem_persist", func() {
+		crashed, committed = t.PmemPersist()
+	})
+	t.State = prev
+	return committed || !crashed
 }
 
 // backoff burns a randomized, exponentially growing pause before a

@@ -66,7 +66,7 @@ func periodVariant() pmu.Periods {
 // base profiled run. It returns the violations (nil when all hold)
 // and performs three further machine runs: a period variant, a
 // quantum-1 variant, and a low-fault variant.
-func checkInvariants(p *progen.Program, base txsampler.Options, res *txsampler.Result, stmBias bool) ([]string, error) {
+func checkInvariants(p *progen.Program, base txsampler.Options, res *txsampler.Result, o Options) ([]string, error) {
 	var violations []string
 	w := p.Workload
 
@@ -78,9 +78,14 @@ func checkInvariants(p *progen.Program, base txsampler.Options, res *txsampler.R
 	// points; slow-path-forcing (stm-bias) programs break it — most
 	// sections execute in software, where interrupt handler overhead
 	// shifts the STM read windows and so the conflict pattern itself —
-	// so the check is skipped for them. The remaining invariants
-	// (permutation, quantum identity, fault drift) still apply.
-	if !stmBias {
+	// so the check is skipped for them. Durable (pmem-bias) programs
+	// break it the same way: persist epilogues serialize on the
+	// canonical durable-commit order, so shifting interrupt timing
+	// reshapes the conflict interleaving of the few contended regions
+	// rather than just the observation points. The remaining
+	// invariants (permutation, quantum identity, fault drift) still
+	// apply to both.
+	if !o.StmBias && !o.PmemBias {
 		perOpts := base
 		perOpts.Periods = periodVariant()
 		per, err := txsampler.RunWorkload(w(), perOpts)
@@ -288,8 +293,8 @@ func fingerprint(r *analyzer.Report) map[string]core.Metrics {
 // each time-decomposition share must stay within faultDriftBound of
 // the fault-free run.
 func faultDrift(clean, faulted *analyzer.Report) []string {
-	cTx, cStm, cFb, cWait, cOh := clean.TimeShares()
-	fTx, fStm, fFb, fWait, fOh := faulted.TimeShares()
+	cTx, cStm, cFb, cWait, cOh, cPersist := clean.TimeShares()
+	fTx, fStm, fFb, fWait, fOh, fPersist := faulted.TimeShares()
 	checks := []struct {
 		name        string
 		clean, with float64
@@ -300,6 +305,7 @@ func faultDrift(clean, faulted *analyzer.Report) []string {
 		{"fallback-share", cFb, fFb},
 		{"wait-share", cWait, fWait},
 		{"overhead-share", cOh, fOh},
+		{"persist-share", cPersist, fPersist},
 	}
 	var violations []string
 	for _, c := range checks {

@@ -36,6 +36,14 @@ type Aggregate struct {
 	ModeSamples  uint64  `json:"mode_samples"`
 	ModeAccuracy float64 `json:"mode_accuracy"`
 
+	// PersistSamples and PmemAccuracy micro-average the
+	// persistence-stall classification: over every sample whose truth
+	// or classification is the durable-commit persist epilogue, the
+	// fraction on the diagonal. Vacuously 1 for campaigns without
+	// durable regions.
+	PersistSamples uint64  `json:"persist_samples,omitempty"`
+	PmemAccuracy   float64 `json:"pmem_accuracy"`
+
 	// InvariantViolations counts failed metamorphic invariants across
 	// all programs (zero on a healthy profiler).
 	InvariantViolations int `json:"invariant_violations"`
@@ -45,11 +53,12 @@ type Aggregate struct {
 type Report struct {
 	// N and Seed reproduce the campaign: program i uses generation
 	// seed Seed+i.
-	N       int    `json:"n"`
-	Seed    int64  `json:"seed"`
-	Threads int    `json:"threads,omitempty"`
-	Hybrid  string `json:"hybrid_policy,omitempty"`
-	StmBias bool   `json:"stm_bias,omitempty"`
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+	Threads  int    `json:"threads,omitempty"`
+	Hybrid   string `json:"hybrid_policy,omitempty"`
+	StmBias  bool   `json:"stm_bias,omitempty"`
+	PmemBias bool   `json:"pmem_bias,omitempty"`
 
 	Aggregate Aggregate        `json:"aggregate"`
 	Programs  []*ProgramResult `json:"programs"`
@@ -59,12 +68,12 @@ type Report struct {
 // seed..seed+n-1. It is deterministic: equal (n, seed, o) yield
 // byte-identical reports.
 func Campaign(n int, seed int64, o Options) (*Report, error) {
-	r := &Report{N: n, Seed: seed, Threads: o.Threads, StmBias: o.StmBias}
+	r := &Report{N: n, Seed: seed, Threads: o.Threads, StmBias: o.StmBias, PmemBias: o.PmemBias}
 	if o.Hybrid != machine.HybridLockOnly {
 		r.Hybrid = o.Hybrid.String()
 	}
 	for i := 0; i < n; i++ {
-		p := progen.Generate(progen.Config{Seed: seed + int64(i), Threads: o.Threads, StmBias: o.StmBias})
+		p := progen.Generate(progen.Config{Seed: seed + int64(i), Threads: o.Threads, StmBias: o.StmBias, PmemBias: o.PmemBias})
 		pr, err := Program(p, o)
 		if err != nil {
 			return nil, err
@@ -79,6 +88,7 @@ func aggregate(progs []*ProgramResult) Aggregate {
 	a := Aggregate{Programs: len(progs)}
 	var txCorrect, naiveCorrect, detected, inTx uint64
 	var modeTotal, modeCorrect uint64
+	var persistTotal, persistCorrect uint64
 	var tTP, tRep, tSam, fTP, fRep, fSam int
 	for _, p := range progs {
 		inTx += p.InTxSamples
@@ -87,6 +97,8 @@ func aggregate(progs []*ProgramResult) Aggregate {
 		detected += p.PathDetected
 		modeTotal += p.ModeSamples
 		modeCorrect += p.ModeCorrect
+		persistTotal += p.PersistSamples
+		persistCorrect += p.PersistCorrect
 		if p.CauseDrift > a.MaxCauseDrift {
 			a.MaxCauseDrift = p.CauseDrift
 		}
@@ -106,6 +118,8 @@ func aggregate(progs []*ProgramResult) Aggregate {
 	a.FalseSharingRecall = ratioOr1(fTP, fSam)
 	a.ModeSamples = modeTotal
 	a.ModeAccuracy = frac(modeCorrect, modeTotal)
+	a.PersistSamples = persistTotal
+	a.PmemAccuracy = frac(persistCorrect, persistTotal)
 	return a
 }
 
@@ -154,6 +168,10 @@ type Baseline struct {
 	// classification accuracy (htm/stm/lock/waiting buckets vs the
 	// machine's ground truth).
 	MinModeAccuracy float64 `json:"min_mode_accuracy"`
+	// MinPmemAccuracy floors the persistence-stall classification
+	// accuracy on pmem-bias campaigns (vacuously satisfied by
+	// campaigns without durable regions).
+	MinPmemAccuracy float64 `json:"min_pmem_accuracy"`
 }
 
 // LoadBaseline reads a baseline file.
@@ -184,6 +202,7 @@ func (b Baseline) Check(a Aggregate) error {
 	low("false_sharing_precision", a.FalseSharingPrecision, b.MinFalseSharingPrecision)
 	low("false_sharing_recall", a.FalseSharingRecall, b.MinFalseSharingRecall)
 	low("mode_accuracy", a.ModeAccuracy, b.MinModeAccuracy)
+	low("pmem_accuracy", a.PmemAccuracy, b.MinPmemAccuracy)
 	if a.MaxCauseDrift > b.MaxCauseDrift {
 		errs = append(errs, fmt.Sprintf("max_cause_drift %.4f above baseline %.4f", a.MaxCauseDrift, b.MaxCauseDrift))
 	}

@@ -21,6 +21,7 @@ import (
 	"txsampler/internal/core"
 	"txsampler/internal/htm"
 	"txsampler/internal/machine"
+	"txsampler/internal/pmem"
 	"txsampler/internal/pmu"
 	"txsampler/internal/progen"
 	"txsampler/internal/rtm"
@@ -108,6 +109,14 @@ type ProgramResult struct {
 	ModeAccuracy float64    `json:"mode_accuracy"`
 	ModeMatrix   []ModeCell `json:"mode_matrix,omitempty"`
 
+	// Persistence-stall classification (pmem tier): over the cycles
+	// samples whose ground truth OR profiler classification is the
+	// durable-commit persist epilogue, the fraction on the diagonal.
+	// Zero/omitted for programs without durable regions.
+	PersistSamples  uint64  `json:"persist_samples,omitempty"`
+	PersistCorrect  uint64  `json:"persist_correct,omitempty"`
+	PersistAccuracy float64 `json:"persist_accuracy,omitempty"`
+
 	// Violations lists every failed metamorphic invariant (empty on a
 	// healthy program).
 	Violations []string `json:"violations"`
@@ -136,6 +145,11 @@ type Options struct {
 	// template mix, so software-transaction samples dominate the mode
 	// classification population.
 	StmBias bool
+	// PmemBias switches generation to progen's durable template mix
+	// and enables the machine's persistent-memory tier, so the
+	// persistence-stall bucket carries real sample mass for the
+	// classification-accuracy gate.
+	PmemBias bool
 }
 
 // Program validates one generated program: the base profiled run with
@@ -146,6 +160,9 @@ func Program(p *progen.Program, o Options) (*ProgramResult, error) {
 	base := txsampler.Options{
 		Threads: o.Threads, Seed: p.Seed, Profile: true,
 		Periods: Periods(), Quantum: o.Quantum, Hybrid: o.Hybrid,
+	}
+	if o.PmemBias {
+		base.Pmem = pmem.Config{Enabled: true}
 	}
 	res, acc, err := txsampler.RunWorkloadWithAccuracy(w, base)
 	if err != nil {
@@ -172,7 +189,8 @@ func Program(p *progen.Program, o Options) (*ProgramResult, error) {
 	pr.ModeCorrect = acc.Modes.Correct()
 	pr.ModeAccuracy = round(acc.Modes.Accuracy())
 	pr.ModeMatrix = modeCells(&acc.Modes)
-	pr.Violations, err = checkInvariants(p, base, res, o.StmBias)
+	pr.PersistSamples, pr.PersistCorrect, pr.PersistAccuracy = persistScore(&acc.Modes)
+	pr.Violations, err = checkInvariants(p, base, res, o)
 	if err != nil {
 		return nil, fmt.Errorf("validate %s: %w", p.Name, err)
 	}
@@ -291,6 +309,26 @@ func sharingScore(res *txsampler.Result, expected []string, wantTrue bool) Shari
 		s.Recall = 1 // nothing sampled at expected sites: vacuous
 	}
 	return s
+}
+
+// persistScore extracts the persistence-stall cell of the mode
+// confusion matrix: the population is every sample whose ground truth
+// or classification is the persist epilogue (union, so both missed
+// stalls and phantom stalls count against the accuracy), correct is
+// the diagonal. Returns zeros when the population is empty.
+func persistScore(m *core.ModeMatrix) (samples, correct uint64, accuracy float64) {
+	f := rtm.ModeFlush
+	diag := m.Counts[f][f]
+	union := diag
+	for g := rtm.Mode(0); g < rtm.NumModes; g++ {
+		if g != f {
+			union += m.Counts[f][g] + m.Counts[g][f]
+		}
+	}
+	if union == 0 {
+		return 0, 0, 0
+	}
+	return union, diag, round(float64(diag) / float64(union))
 }
 
 // modeCells flattens the non-zero confusion cells in fixed

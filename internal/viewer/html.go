@@ -36,6 +36,8 @@ type htmlReport struct {
 	Stm      float64
 	StmRatio float64 // instrumentation overhead: stm cycles / htm cycles
 	HasStm   bool
+	Persist  float64 // persistence-stall share of CS time
+	HasPmem  bool
 	RatioAC  float64
 	Conflict float64
 	Capacity float64
@@ -76,6 +78,8 @@ fallback {{printf "%.1f" .Fb}}%, lock-wait {{printf "%.1f" .Wait}}%, overhead {{
 &middot; abort/commit = {{printf "%.3f" .RatioAC}} &middot; {{.Category}}</p>
 {{if .HasStm}}<p class="meta">hybrid: stm {{printf "%.1f" .Stm}}% of CS &middot;
 instrumentation overhead stm/htm = {{printf "%.2f" .StmRatio}}</p>{{end}}
+{{if .HasPmem}}<p class="meta">pmem: persist {{printf "%.1f" .Persist}}% of CS
+(persistence stalls: flush + fence + commit record)</p>{{end}}
 <p class="meta">abort weight: conflict {{printf "%.1f" .Conflict}}%,
 capacity {{printf "%.1f" .Capacity}}%, sync {{printf "%.1f" .Sync}}%</p>
 
@@ -118,12 +122,16 @@ func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOpti
 		Sync:     100 * r.CauseShare(htm.Sync),
 		Category: r.Categorize().String(),
 	}
-	tx, stm, fb, wait, oh := r.TimeShares()
+	tx, stm, fb, wait, oh, persist := r.TimeShares()
 	data.Tx, data.Fb, data.Wait, data.Oh = 100*tx, 100*fb, 100*wait, 100*oh
 	if r.Totals.Tstm > 0 {
 		data.HasStm = true
 		data.Stm = 100 * stm
 		data.StmRatio = r.StmOverhead()
+	}
+	if r.Totals.Tpersist > 0 {
+		data.HasPmem = true
+		data.Persist = 100 * persist
 	}
 
 	totalT := float64(r.Totals.T)

@@ -19,6 +19,9 @@ import (
 
 	"txsampler"
 	"txsampler/internal/experiments"
+	"txsampler/internal/faults"
+	"txsampler/internal/machine"
+	"txsampler/internal/pmem"
 	"txsampler/internal/profile"
 )
 
@@ -120,6 +123,58 @@ func TestCampaignInterruptResumeByteIdentical(t *testing.T) {
 		if rf.Categorize() != rr.Categorize() || rf.Rcs() != rr.Rcs() || rf.AbortCommitRatio() != rr.AbortCommitRatio() {
 			t.Fatalf("%s: classification diverged after resume", e.Name())
 		}
+	}
+}
+
+// TestPmemRecoveryReplayEquivalence: whatever a run leaves in the
+// persist domain — crash-free or mid-run crash storms — is
+// crash-consistent at rest. Replaying recovery over the surviving undo
+// log must be a verdict-identical fixed point: Clean (every surviving
+// record belongs to a committed transaction), byte-identical image
+// before and after, and a second replay must return the exact same
+// summary. This is the reboot-after-reboot equivalence a real
+// recovery daemon relies on.
+func TestPmemRecoveryReplayEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan faults.Plan
+	}{
+		{"clean", faults.Plan{}},
+		{"mid-log-storm", faults.Plan{PmemCrashPoint: faults.PmemCrashMidLog, PmemCrashEvery: 4}},
+		{"torn-tail-storm", faults.Plan{PmemCrashPoint: faults.PmemCrashTornTail, PmemCrashEvery: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, w := range pmemWorkloads(t) {
+				m := machine.New(machine.Config{
+					Threads: pmemTestThreads, Cache: txsampler.BenchCache(),
+					Seed: 13, StartSkew: 1024, Faults: tc.plan,
+					Pmem: pmem.Config{Enabled: true},
+				})
+				inst := w.BuildInstance(m, nil)
+				if err := m.Run(inst.Bodies...); err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
+				if err := inst.Check(m); err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
+				d := m.Pmem()
+				before := d.Fingerprint()
+				rec := pmem.Recover(d.Log(), d.Image())
+				if !rec.Clean() {
+					t.Fatalf("%s: at-rest log not clean after run: %+v", w.Name, rec)
+				}
+				if got := d.Fingerprint(); got != before {
+					t.Fatalf("%s: recovery replay moved the at-rest image (%#x vs %#x)", w.Name, got, before)
+				}
+				again := pmem.Recover(d.Log(), d.Image())
+				if again != rec {
+					t.Fatalf("%s: second replay verdict differs: %+v vs %+v", w.Name, again, rec)
+				}
+				if got := d.Fingerprint(); got != before {
+					t.Fatalf("%s: second replay moved the image", w.Name)
+				}
+			}
+		})
 	}
 }
 

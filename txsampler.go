@@ -33,6 +33,7 @@ import (
 	"txsampler/internal/faults"
 	"txsampler/internal/htmbench"
 	"txsampler/internal/machine"
+	"txsampler/internal/pmem"
 	"txsampler/internal/pmu"
 	"txsampler/internal/rtm"
 	"txsampler/internal/telemetry"
@@ -85,6 +86,11 @@ type Options struct {
 	// the zero plan injects nothing. See the faults package and
 	// faults.ParsePlan for the -faults flag syntax.
 	Faults faults.Plan
+	// Pmem enables the simulated persistent-memory tier (undo logging,
+	// durable-commit persist epilogue, crash injection via Faults).
+	// The zero value is disabled and leaves runs bit-identical to
+	// earlier versions.
+	Pmem pmem.Config
 	// Quantum overrides the scheduler run quantum (0 = the machine
 	// default; 1 = per-op scheduling, a debug knob). The schedule is
 	// quantum-invariant — results are bit-identical for any value.
@@ -168,6 +174,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		HandlerCost: o.HandlerCost,
 		StartSkew:   1024,
 		Faults:      o.Faults,
+		Pmem:        o.Pmem,
 		Quantum:     o.Quantum,
 		Trace:       o.Trace,
 		Hybrid:      o.Hybrid,
@@ -272,8 +279,9 @@ func RunWorkloadWithAccuracy(w *htmbench.Workload, o Options) (*Result, Accuracy
 	cfg := machine.Config{
 		Threads: threads, Cache: cacheCfg, LBRDepth: o.LBRDepth,
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
-		Periods: o.Periods, Faults: o.Faults, Quantum: o.Quantum,
-		Trace: o.Trace, Hybrid: o.Hybrid, Context: o.Context,
+		Periods: o.Periods, Faults: o.Faults, Pmem: o.Pmem,
+		Quantum: o.Quantum, Trace: o.Trace, Hybrid: o.Hybrid,
+		Context: o.Context,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
