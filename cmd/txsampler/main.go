@@ -55,6 +55,7 @@ func main() {
 		dbgAddr = flag.String("debug-addr", "", "serve net/http/pprof, expvar, and /metrics on this address (e.g. localhost:6060)")
 		quantum = flag.Int("quantum", 0, "scheduler run quantum in ops (0 = machine default; results are quantum-invariant)")
 		hybrid  = flag.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
+		elide   = flag.Bool("elide", false, "enable lock elision: elidable locks speculate before acquiring (per-site verdicts in the report)")
 		pmemOn  = flag.Bool("pmem", false, "enable the persistent-memory tier (durable commits + persistence-stall attribution; pmem/* workloads)")
 		pflush  = flag.Uint64("pmem-flush", 0, "per-line flush cost in cycles (0 = default)")
 		pfence  = flag.Uint64("pmem-fence", 0, "persist-fence cost in cycles (0 = default)")
@@ -72,6 +73,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "txsampler: %v\n", err)
 		os.Exit(2)
+	}
+	emode := machine.ElisionOff
+	if *elide {
+		emode = machine.ElisionOn
 	}
 
 	metrics := telemetry.NewRegistry()
@@ -126,7 +131,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *acc {
-		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Hybrid: hpol, Pmem: pcfg, Context: ctx})
+		res, a, err := txsampler.RunWithAccuracy(name, txsampler.Options{Threads: *threads, Seed: *seed, Faults: plan, Quantum: *quantum, Hybrid: hpol, Elision: emode, Pmem: pcfg, Context: ctx})
 		if err != nil {
 			if errors.Is(err, txsampler.ErrCanceled) {
 				fmt.Fprintln(os.Stderr, "txsampler: interrupted")
@@ -165,7 +170,7 @@ func main() {
 	res, err := txsampler.Run(name, txsampler.Options{
 		Threads: *threads, Seed: *seed, Profile: !*native, Faults: plan,
 		Quantum: *quantum, Trace: tracer, Metrics: metrics, Hybrid: hpol,
-		Pmem: pcfg, Context: ctx,
+		Elision: emode, Pmem: pcfg, Context: ctx,
 	})
 	if err != nil {
 		if errors.Is(err, txsampler.ErrCanceled) {

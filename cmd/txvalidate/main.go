@@ -31,14 +31,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("txvalidate", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		n        = fs.Int("n", 100, "number of generated programs")
-		seed     = fs.Int64("seed", 1, "first generation seed (program i uses seed+i)")
-		threads  = fs.Int("threads", 0, "thread count override (0 = per-program generated count)")
-		out      = fs.String("o", "", "write the JSON report to this file (default stdout)")
-		baseline = fs.String("baseline", "", "check the aggregate against this baseline file")
-		hybrid   = fs.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
-		stmBias  = fs.Bool("stm-bias", false, "generate slow-path-forcing programs (hybrid-mode classification validation)")
-		pmemBias = fs.Bool("pmem-bias", false, "generate durable-region programs with the pmem tier enabled (persistence-stall classification validation)")
+		n         = fs.Int("n", 100, "number of generated programs")
+		seed      = fs.Int64("seed", 1, "first generation seed (program i uses seed+i)")
+		threads   = fs.Int("threads", 0, "thread count override (0 = per-program generated count)")
+		out       = fs.String("o", "", "write the JSON report to this file (default stdout)")
+		baseline  = fs.String("baseline", "", "check the aggregate against this baseline file")
+		hybrid    = fs.String("hybrid-policy", "lock-only", "slow-path execution mode: "+strings.Join(machine.HybridPolicies(), ", "))
+		stmBias   = fs.Bool("stm-bias", false, "generate slow-path-forcing programs (hybrid-mode classification validation)")
+		pmemBias  = fs.Bool("pmem-bias", false, "generate durable-region programs with the pmem tier enabled (persistence-stall classification validation)")
+		elideBias = fs.Bool("elision-bias", false, "generate elidable-lock programs with elision on (per-site verdict accuracy validation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep, err := validate.Campaign(*n, *seed, validate.Options{Threads: *threads, Hybrid: hpol, StmBias: *stmBias, PmemBias: *pmemBias})
+	rep, err := validate.Campaign(*n, *seed, validate.Options{Threads: *threads, Hybrid: hpol, StmBias: *stmBias, PmemBias: *pmemBias, ElisionBias: *elideBias})
 	if err != nil {
 		fmt.Fprintln(stderr, "txvalidate:", err)
 		return 1

@@ -1,0 +1,204 @@
+package txsampler_test
+
+// Cross-mode elision equivalence suite: the same workload at the same
+// seed must compute the same result with elision off and on, under
+// every hybrid policy and any scheduler quantum. Byte-identical final
+// memory proves the ladder (speculation, software slow path, lock
+// acquisition) leaves no residue — a failed speculative attempt never
+// leaks a partial update.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"txsampler"
+	"txsampler/internal/faults"
+	"txsampler/internal/htmbench"
+	"txsampler/internal/machine"
+	"txsampler/internal/profile"
+	"txsampler/internal/progen"
+)
+
+var elideWorkloads = []string{
+	"elide/sharded-map",
+	"elide/read-mostly",
+	"elide/counter",
+	"elide/syscall-section",
+}
+
+// runElide executes a workload natively under one (policy, elision,
+// quantum) triple, runs its own Check, and returns the final memory
+// fingerprint.
+func runElide(t *testing.T, w *htmbench.Workload, seed int64, pol machine.HybridPolicy, el machine.ElisionMode, quantum int) uint64 {
+	t.Helper()
+	m := machine.New(machine.Config{
+		Threads: w.DefaultThreads, Cache: txsampler.BenchCache(),
+		Seed: seed, StartSkew: 1024, Hybrid: pol, Elision: el, Quantum: quantum,
+	})
+	inst := w.BuildInstance(m, nil)
+	if err := m.Run(inst.Bodies...); err != nil {
+		t.Fatalf("%s [%v elision=%v q=%d]: %v", w.Name, pol, el, quantum, err)
+	}
+	if inst.Check != nil {
+		if err := inst.Check(m); err != nil {
+			t.Fatalf("%s [%v elision=%v q=%d]: result check failed: %v", w.Name, pol, el, quantum, err)
+		}
+	}
+	return m.Mem.Fingerprint()
+}
+
+// TestElisionWorkloadEquivalence runs every elide-suite workload
+// across elision off/on x all four hybrid policies x two scheduler
+// quanta and requires one final memory image from all of them.
+func TestElisionWorkloadEquivalence(t *testing.T) {
+	for _, name := range elideWorkloads {
+		w, err := htmbench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			base := runElide(t, w, 1, machine.HybridLockOnly, machine.ElisionOff, 0)
+			for _, pol := range allPolicies() {
+				for _, el := range []machine.ElisionMode{machine.ElisionOff, machine.ElisionOn} {
+					for _, quantum := range []int{0, 7} {
+						if pol == machine.HybridLockOnly && el == machine.ElisionOff && quantum == 0 {
+							continue
+						}
+						if fp := runElide(t, w, 1, pol, el, quantum); fp != base {
+							t.Errorf("final memory under %v elision=%v q=%d differs from plain lock-only (%#x vs %#x)",
+								pol, el, quantum, fp, base)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestElisionProgenEquivalence runs generated elision-biased programs
+// (per-region elidable locks with by-construction verdicts) across
+// elision off/on x all policies; the program's check pins every
+// program word, so fingerprint equality is the no-residue assertion.
+func TestElisionProgenEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		p := progen.Generate(progen.Config{Seed: seed, ElisionBias: true})
+		w := p.Workload()
+		base := runElide(t, w, seed, machine.HybridLockOnly, machine.ElisionOff, 0)
+		for _, pol := range allPolicies() {
+			for _, el := range []machine.ElisionMode{machine.ElisionOff, machine.ElisionOn} {
+				if pol == machine.HybridLockOnly && el == machine.ElisionOff {
+					continue
+				}
+				if fp := runElide(t, w, seed, pol, el, 0); fp != base {
+					t.Errorf("%s: final memory under %v elision=%v differs from plain lock-only (%#x vs %#x)",
+						p.Name, pol, el, fp, base)
+				}
+			}
+		}
+	}
+}
+
+// TestElisionGOMAXPROCSInvariance pins the simulator's determinism
+// against host parallelism: an elided run must fingerprint identically
+// with the Go runtime throttled to one CPU.
+func TestElisionGOMAXPROCSInvariance(t *testing.T) {
+	w, err := htmbench.Get("elide/sharded-map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runElide(t, w, 1, machine.HybridStmFallback, machine.ElisionOn, 0)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if fp := runElide(t, w, 1, machine.HybridStmFallback, machine.ElisionOn, 0); fp != base {
+		t.Errorf("final memory at GOMAXPROCS=1 differs (%#x vs %#x)", fp, base)
+	}
+}
+
+// TestElisionProfiledVerdicts drives the elide suite through the full
+// profiled pipeline with elision on and checks the per-lock-site
+// verdict table: the by-construction winners must win, the poisoned
+// section must lose, and with elision off every site must report
+// plain-lock.
+func TestElisionProfiledVerdicts(t *testing.T) {
+	wantVerdict := map[string]string{
+		"elide/sharded-map":     "win",
+		"elide/read-mostly":     "win",
+		"elide/syscall-section": "lose",
+	}
+	for name, want := range wantVerdict {
+		res, err := txsampler.Run(name, txsampler.Options{Seed: 1, Profile: true, Elision: machine.ElisionOn})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sites := res.Report.ElisionSites()
+		if len(sites) == 0 {
+			t.Fatalf("%s: no elision sites in report", name)
+		}
+		for _, s := range sites {
+			if !s.Elided {
+				t.Errorf("%s: site %s not marked elided", name, s.Site)
+			}
+			if got := s.Verdict(); got != want {
+				t.Errorf("%s: site %s verdict = %q, want %q", name, s.Site, got, want)
+			}
+		}
+	}
+
+	// Elision off: the same locks run plain, and the analyzer must say
+	// so rather than fabricate a verdict.
+	res, err := txsampler.Run("elide/sharded-map", txsampler.Options{Seed: 1, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Report.ElisionSites() {
+		if got := s.Verdict(); got != "plain-lock" {
+			t.Errorf("elision off: site %s verdict = %q, want plain-lock", s.Site, got)
+		}
+	}
+}
+
+// TestElisionStormChaos drives the whole elide suite, eliding, through
+// an ambient-abort storm (the elide-storm preset): the ladder must
+// neither hang nor corrupt results, the run must stay byte-identical
+// across repetitions, degradation must be flagged, and the analyzer
+// must still produce a verdict for every site.
+func TestElisionStormChaos(t *testing.T) {
+	plan := faults.Presets["elide-storm"]
+	for _, name := range elideWorkloads {
+		t.Run(name, func(t *testing.T) {
+			run := func() *txsampler.Result {
+				res, err := txsampler.Run(name, txsampler.Options{
+					Seed: 7, Profile: true, Elision: machine.ElisionOn, Faults: plan,
+				})
+				if err != nil {
+					t.Fatalf("%s under elide-storm: %v", name, err)
+				}
+				return res
+			}
+			res := run()
+			if res.Report.Quality.Degraded() == 0 {
+				t.Error("storm fired but the profile does not report degradation")
+			}
+			sites := res.Report.ElisionSites()
+			if len(sites) == 0 {
+				t.Fatal("no elision sites survived the storm")
+			}
+			for _, s := range sites {
+				if !s.Elided {
+					t.Errorf("site %s lost its elided marking under the storm", s.Site)
+				}
+			}
+			var a, b bytes.Buffer
+			if err := profile.FromReport(res.Report).Write(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := profile.FromReport(run().Report).Write(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Error("same seed produced different profiles under the storm")
+			}
+		})
+	}
+}

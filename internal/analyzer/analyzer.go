@@ -498,6 +498,9 @@ func (r *Report) Render(w io.Writer) {
 			}
 		}
 	}
+	if sites := r.ElisionSites(); len(sites) > 0 {
+		r.renderElision(w, sites)
+	}
 }
 
 func ratio(a, b uint64) float64 {

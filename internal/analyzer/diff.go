@@ -113,10 +113,40 @@ func RenderDiff(w io.Writer, before, after *Report, k int) {
 	if before.Totals.Tpersist > 0 || after.Totals.Tpersist > 0 {
 		row("T_persist share", bpersist, apersist, "")
 	}
+	belide := before.Totals.TelideHtm + before.Totals.TelideStm + before.Totals.TelideLock
+	aelide := after.Totals.TelideHtm + after.Totals.TelideStm + after.Totals.TelideLock
+	if belide > 0 || aelide > 0 {
+		bh, bs, bl := before.ElisionShares()
+		ah, as, al := after.ElisionShares()
+		row("elided-htm share", bh, ah, "")
+		row("elided-stm share", bs, as, "")
+		row("elided-lock share", bl, al, "")
+		diffElisionVerdicts(w, before, after)
+	}
 	fmt.Fprintln(w, "top moving contexts (CS samples, abort weight):")
 	for _, d := range Diff(before, after, k) {
 		fmt.Fprintf(w, "  T %5d -> %-5d  AW %8d -> %-8d  %s\n",
 			d.TBefore, d.TAfter, d.AWBefore, d.AWAfter, d.Path())
+	}
+}
+
+// diffElisionVerdicts lists lock sites whose elision verdict flipped
+// between the two profiles — the re-profile-after-each-step workflow
+// applied to the elision decision.
+func diffElisionVerdicts(w io.Writer, before, after *Report) {
+	bv := make(map[string]string)
+	for _, s := range before.ElisionSites() {
+		bv[s.Site] = s.Verdict()
+	}
+	var moved []string
+	for _, s := range after.ElisionSites() {
+		if prev, ok := bv[s.Site]; ok && prev != s.Verdict() {
+			moved = append(moved, fmt.Sprintf("  elision verdict %s: %s -> %s", s.Site, prev, s.Verdict()))
+		}
+	}
+	sort.Strings(moved)
+	for _, line := range moved {
+		fmt.Fprintln(w, line)
 	}
 }
 

@@ -60,6 +60,15 @@ type Metrics struct {
 	// byte-identically to earlier versions.
 	Tpersist uint64 `json:"Tpersist,omitempty"`
 
+	// Elided-lock splits (rtm.InElision): how much of Ttx/Tstm/Tfb
+	// was spent inside elided critical sections. Each counter is a
+	// refinement of its base bucket, never an addition to it, so the
+	// Figure 4 decomposition is unchanged; omitempty keeps profiles
+	// from elision-free runs byte-identical to earlier versions.
+	TelideHtm  uint64 `json:"TelideHtm,omitempty"`
+	TelideStm  uint64 `json:"TelideStm,omitempty"`
+	TelideLock uint64 `json:"TelideLock,omitempty"`
+
 	// Abort analysis (paper §5), from RTM_RETIRED:ABORTED samples.
 	AbortSamples uint64
 	AbortCount   [htm.NumCauses]uint64 // sampled aborts by cause
@@ -98,6 +107,9 @@ func (m *Metrics) Merge(src *Metrics) {
 	m.Twait += src.Twait
 	m.Toh += src.Toh
 	m.Tpersist += src.Tpersist
+	m.TelideHtm += src.TelideHtm
+	m.TelideStm += src.TelideStm
+	m.TelideLock += src.TelideLock
 	m.AbortSamples += src.AbortSamples
 	for i := range m.AbortCount {
 		m.AbortCount[i] += src.AbortCount[i]
@@ -430,19 +442,32 @@ func (c *Collector) HandleSample(s *machine.Sample) {
 		if rtm.IsInCS(s.State) {
 			m.T++
 			p.Totals.T++
+			elided := rtm.IsInElision(s.State)
 			switch {
 			case inTx:
 				m.Ttx++
 				p.Totals.Ttx++
+				if elided {
+					m.TelideHtm++
+					p.Totals.TelideHtm++
+				}
 			case rtm.IsInFlush(s.State):
 				m.Tpersist++
 				p.Totals.Tpersist++
 			case rtm.IsInSTM(s.State):
 				m.Tstm++
 				p.Totals.Tstm++
+				if elided {
+					m.TelideStm++
+					p.Totals.TelideStm++
+				}
 			case rtm.IsInFallback(s.State):
 				m.Tfb++
 				p.Totals.Tfb++
+				if elided {
+					m.TelideLock++
+					p.Totals.TelideLock++
+				}
 			case rtm.IsInLockWaiting(s.State):
 				m.Twait++
 				p.Totals.Twait++

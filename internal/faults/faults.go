@@ -264,6 +264,14 @@ var Presets = map[string]Plan{
 		SpuriousAbortRate: 0.002, SampleDropRate: 0.02, LBRTruncateRate: 0.01,
 		StormPeriod: 4000, StormLength: 400, StormFactor: 25,
 	},
+	// elide-storm targets the elision ladder: dense spurious-abort
+	// bursts knock speculative lock acquisitions onto the fallback
+	// path, stress-testing per-site verdict stability under abort
+	// storms.
+	"elide-storm": {
+		SpuriousAbortRate: 0.005,
+		StormPeriod:       3000, StormLength: 600, StormFactor: 30,
+	},
 	"all": {
 		SpuriousAbortRate: 0.005, SampleDropRate: 0.1, CoalesceWindow: 300,
 		LBRTruncateRate: 0.05, LBRStaleRate: 0.02, LBRClearAbortRate: 0.02,

@@ -1,0 +1,152 @@
+package htmbench
+
+import (
+	"fmt"
+
+	"txsampler/internal/machine"
+	"txsampler/internal/mem"
+	"txsampler/internal/rtm"
+)
+
+// The elide suite exercises the lock-elision fallback ladder on the
+// four canonical lock-usage shapes: a sharded map (mostly disjoint
+// writers), an RWMutex-style read-mostly table, a short CAS-able hot
+// counter, and a long syscall-poisoned section. Each workload builds
+// its own rtm.ElidedLock(s), so the same program runs plain (elision
+// off) or speculating (elision on) with identical final memory — the
+// cross-mode equivalence the elision tests pin down — and the profiler
+// gets one per-lock-site verdict per lock.
+
+func init() {
+	Register(&Workload{
+		Name:  "elide/sharded-map",
+		Suite: "elide",
+		Desc:  "hash map with one elidable lock per shard: disjoint writers, elision wins",
+		Build: func(ctx *Ctx) *Instance {
+			const shards = 4
+			const buckets = 16 // padded: one line per bucket
+			locks := make([]*rtm.ElidedLock, shards)
+			tables := make([]padded, shards)
+			for s := 0; s < shards; s++ {
+				locks[s] = rtm.NewElidedLock(ctx.M, []string{"map_shard0", "map_shard1", "map_shard2", "map_shard3"}[s])
+				tables[s] = newPadded(ctx.M, buckets)
+			}
+			const iters = 200
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						key := uint64(i*ctx.Threads + t.ID)
+						s := int(key % shards)
+						locks[s].Run(t, func() {
+							t.At("map_put")
+							t.Add(tables[s].at(int(key/shards)%buckets), 1)
+						})
+						t.Compute(30)
+					}
+				}),
+				Check: func(m *machine.Machine) error {
+					var total uint64
+					for s := 0; s < shards; s++ {
+						for b := 0; b < buckets; b++ {
+							total += m.Mem.Load(tables[s].at(b))
+						}
+					}
+					want := uint64(iters * ctx.Threads)
+					if total != want {
+						return fmt.Errorf("sharded-map total = %d, want %d", total, want)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "elide/read-mostly",
+		Suite: "elide",
+		Desc:  "RWMutex-shaped table: scans dominate, rare version bumps — elision wins",
+		Build: func(ctx *Ctx) *Instance {
+			lock := rtm.NewElidedLock(ctx.M, "rw_table")
+			table := ctx.M.Mem.AllocLines(4)
+			version := ctx.M.Mem.AllocLines(1)
+			const iters = 160
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						i := i
+						lock.Run(t, func() {
+							if i%32 == 0 {
+								t.At("table_write")
+								t.Add(version, 1)
+								t.Add(table.Offset((t.ID%4)*mem.WordsPerLine), 1)
+								return
+							}
+							t.At("table_scan")
+							for j := 0; j < 4; j++ {
+								t.Load(table.Offset(j * mem.WordsPerLine))
+							}
+							t.Compute(20)
+						})
+						t.Compute(25)
+					}
+				}),
+				Check: expectWord(version, uint64(ctx.Threads*(iters/32)), "table version"),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "elide/counter",
+		Suite: "elide",
+		Desc:  "short CAS-able hot counter under one elidable lock: tiny conflicting sections",
+		Build: func(ctx *Ctx) *Instance {
+			lock := rtm.NewElidedLock(ctx.M, "hot_counter")
+			counter := ctx.M.Mem.AllocLines(1)
+			const iters = 150
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						lock.Run(t, func() {
+							t.At("counter_inc")
+							t.Add(counter, 1)
+						})
+						t.Compute(35)
+					}
+				}),
+				Check: expectWord(counter, uint64(iters*ctx.Threads), "hot counter"),
+			}
+		},
+	})
+
+	Register(&Workload{
+		Name:  "elide/syscall-section",
+		Suite: "elide",
+		Desc:  "long syscall-poisoned section: every speculative attempt aborts, elision loses",
+		Build: func(ctx *Ctx) *Instance {
+			lock := rtm.NewElidedLock(ctx.M, "log_section")
+			counters := newPadded(ctx.M, ctx.Threads)
+			const iters = 120
+			return &Instance{
+				Bodies: sameBodies(ctx.Threads, func(t *machine.Thread) {
+					for i := 0; i < iters; i++ {
+						lock.Run(t, func() {
+							t.At("log_append")
+							t.Add(counters.at(t.ID), 1)
+							t.Syscall("fsync")
+							t.Compute(80)
+						})
+						t.Compute(20)
+					}
+				}),
+				Check: func(m *machine.Machine) error {
+					for i := 0; i < ctx.Threads; i++ {
+						if err := expectWord(counters.at(i), iters, "log counter")(m); err != nil {
+							return err
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+}

@@ -159,6 +159,11 @@ type Config struct {
 	// fallback.
 	Hybrid HybridPolicy
 
+	// Elision selects whether elidable locks (rtm.ElidedLock) on this
+	// machine speculate through the TM runtime (see ElisionMode). The
+	// zero value, ElisionOff, makes them plain locks.
+	Elision ElisionMode
+
 	// Context, when non-nil, cancels the run cooperatively:
 	// SIGINT/SIGTERM (via signal.NotifyContext) or a per-shard
 	// deadline stops the machine at the next scheduler rendezvous — a
@@ -218,6 +223,9 @@ func (c Config) Validate() error {
 	}
 	if !c.Hybrid.Valid() {
 		return fmt.Errorf("machine: unknown hybrid policy %d", int(c.Hybrid))
+	}
+	if !c.Elision.Valid() {
+		return fmt.Errorf("machine: unknown elision mode %d", int(c.Elision))
 	}
 	if err := (htm.Config{Sets: d.Cache.Sets, Ways: d.Cache.Ways, MaxReadLines: d.MaxReadLines}).Validate(); err != nil {
 		return err

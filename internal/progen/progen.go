@@ -28,6 +28,7 @@ import (
 	"txsampler/internal/htmbench"
 	"txsampler/internal/machine"
 	"txsampler/internal/mem"
+	"txsampler/internal/rtm"
 )
 
 // Kind enumerates the region templates the generator composes
@@ -99,6 +100,42 @@ const (
 	KindPmemLog
 )
 
+// Elision-biased templates, selected only under Config.ElisionBias:
+// each region runs under its own rtm.ElidedLock (not the program's
+// global lock), and each kind is built so the elision verdict is
+// unambiguous by construction — ShouldElide is the ground truth the
+// verdict validation scores against.
+const (
+	// KindElideWin updates a short per-thread private counter: the
+	// speculative path essentially always commits, so elision wins.
+	KindElideWin Kind = KindPmemLog + 1 + iota
+	// KindElideRead reads a never-written shared line and bumps a
+	// private counter — the RWMutex read-mostly shape. No conflicts,
+	// so elision wins.
+	KindElideRead
+	// KindElideSyscall executes an unfriendly instruction on every
+	// single visit: every speculative attempt sync-aborts and the
+	// section serializes through the ladder's tail, so elision loses.
+	KindElideSyscall
+	// KindElideCapacity writes a footprint past the L1 associativity
+	// on every visit: every speculative attempt capacity-aborts, so
+	// elision loses.
+	KindElideCapacity
+)
+
+// ElideVerdict returns the by-construction ground truth for an
+// elision-biased kind: ok=false for non-elision kinds, otherwise
+// shouldWin says whether a profiler's per-site verdict must be "win".
+func (k Kind) ElideVerdict() (shouldWin, ok bool) {
+	switch k {
+	case KindElideWin, KindElideRead:
+		return true, true
+	case KindElideSyscall, KindElideCapacity:
+		return false, true
+	}
+	return false, false
+}
+
 func (k Kind) String() string {
 	switch k {
 	case KindPrivate:
@@ -123,6 +160,14 @@ func (k Kind) String() string {
 		return "pmem-kv"
 	case KindPmemLog:
 		return "pmem-log"
+	case KindElideWin:
+		return "elide-win"
+	case KindElideRead:
+		return "elide-read"
+	case KindElideSyscall:
+		return "elide-syscall"
+	case KindElideCapacity:
+		return "elide-capacity"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -212,6 +257,13 @@ type Config struct {
 	// StmBias (PmemBias wins). With PmemBias false the draw sequence
 	// is byte-identical to earlier versions.
 	PmemBias bool
+	// ElisionBias switches generation to the elidable-lock template
+	// mix (the KindElide* kinds): every region runs under a per-region
+	// rtm.ElidedLock whose win/lose verdict is known by construction —
+	// the workloads the verdict validation runs on. PmemBias wins over
+	// it; it wins over StmBias. With ElisionBias false the draw
+	// sequence is byte-identical to earlier versions.
+	ElisionBias bool
 }
 
 func (c Config) withDefaults(rng *rand.Rand) Config {
@@ -242,8 +294,13 @@ func Generate(cfg Config) *Program {
 	if cfg.StmBias {
 		name = fmt.Sprintf("progen/stm-s%d", cfg.Seed)
 	}
+	if cfg.ElisionBias {
+		cfg.StmBias = false
+		name = fmt.Sprintf("progen/elide-s%d", cfg.Seed)
+	}
 	if cfg.PmemBias {
 		cfg.StmBias = false
+		cfg.ElisionBias = false
 		name = fmt.Sprintf("progen/pmem-s%d", cfg.Seed)
 	}
 	p := &Program{
@@ -261,6 +318,10 @@ func Generate(cfg Config) *Program {
 	// templates that also spend time in the other execution modes so
 	// persistence stalls compete with real transactional work.
 	pmemMix := []Kind{KindPmemKV, KindPmemLog, KindPrivate, KindTrueShare, KindSyscall}
+	// The elision mix draws only from the verdict-graded templates:
+	// every region is an elidable lock site, and pinning one winner and
+	// one loser guarantees both verdicts appear in every program.
+	elideMix := []Kind{KindElideWin, KindElideRead, KindElideSyscall, KindElideCapacity}
 	// The first two regions always pin down one contended and one
 	// private template so every program has both a known sharing site
 	// and a low-abort baseline; the rest draw from the full mix.
@@ -273,6 +334,12 @@ func Generate(cfg Config) *Program {
 			kind = KindPmemLog
 		case cfg.PmemBias:
 			kind = pmemMix[rng.Intn(len(pmemMix))]
+		case cfg.ElisionBias && i == 0:
+			kind = KindElideWin
+		case cfg.ElisionBias && i == 1:
+			kind = KindElideSyscall
+		case cfg.ElisionBias:
+			kind = elideMix[rng.Intn(len(elideMix))]
 		case cfg.StmBias && i == 0:
 			kind = KindStmConflict
 		case cfg.StmBias && i == 1:
@@ -317,6 +384,11 @@ func Generate(cfg Config) *Program {
 			// just sizes the software read/write sets.
 			r.Lines = 2 + rng.Intn(3)
 		}
+		if kind == KindElideCapacity {
+			// Always past the associativity edge: every speculative
+			// attempt overflows, so the lose verdict is unambiguous.
+			r.Lines = cfg.Ways + 1 + rng.Intn(2)
+		}
 		r.Site = fmt.Sprintf("r%d_%s", r.ID, r.Kind)
 		switch kind {
 		case KindTrueShare, KindStmConflict:
@@ -355,6 +427,9 @@ type layout struct {
 	shared   []mem.Addr
 	private  [][]mem.Addr
 	capacity [][][]mem.Addr
+	// elocks[i] is region i's per-region elidable lock (nil for
+	// non-elision kinds, which serialize on the program's global lock).
+	elocks []*rtm.ElidedLock
 }
 
 // Workload compiles the program into an (unregistered) htmbench
@@ -377,11 +452,33 @@ func (p *Program) build(ctx *htmbench.Ctx) *htmbench.Instance {
 		shared:   make([]mem.Addr, len(p.Regions)),
 		private:  make([][]mem.Addr, len(p.Regions)),
 		capacity: make([][][]mem.Addr, len(p.Regions)),
+		elocks:   make([]*rtm.ElidedLock, len(p.Regions)),
 	}
 	for i, r := range p.Regions {
+		if _, elide := r.Kind.ElideVerdict(); elide {
+			lay.elocks[i] = rtm.NewElidedLock(m, r.Site)
+		}
 		switch r.Kind {
 		case KindTrueShare, KindFalseShare, KindStmConflict:
 			lay.shared[i] = m.Mem.AllocLines(1)
+		case KindElideRead:
+			// Never-written shared line read by every thread, plus the
+			// per-thread private progress counter.
+			lay.shared[i] = m.Mem.AllocLines(1)
+			lay.private[i] = make([]mem.Addr, ctx.Threads)
+			for tid := 0; tid < ctx.Threads; tid++ {
+				lay.private[i][tid] = m.Mem.AllocLines(1)
+			}
+		case KindElideCapacity:
+			lay.capacity[i] = make([][]mem.Addr, ctx.Threads)
+			for tid := 0; tid < ctx.Threads; tid++ {
+				base := m.Mem.AllocLines(1 + (r.Lines-1)*sets)
+				lines := make([]mem.Addr, r.Lines)
+				for j := 0; j < r.Lines; j++ {
+					lines[j] = base.Offset(j * sets * mem.WordsPerLine)
+				}
+				lay.capacity[i][tid] = lines
+			}
 		case KindCapacity, KindStmCapacity:
 			lay.capacity[i] = make([][]mem.Addr, ctx.Threads)
 			for tid := 0; tid < ctx.Threads; tid++ {
@@ -441,14 +538,22 @@ func (p *Program) build(ctx *htmbench.Ctx) *htmbench.Instance {
 }
 
 // visit executes one region visit on thread tid, iteration it.
+// Elision-kind regions serialize on their own elidable lock (whose Run
+// pushes the elide:<site> frame the analyzer aggregates on); everything
+// else shares the program's global lock.
 func (p *Program) visit(ctx *htmbench.Ctx, lay *layout, r *Region, t *machine.Thread, tid, it int) {
 	t.Compute(r.NonCSWork)
-	ctx.Lock.Run(t, func() {
+	body := func() {
 		p.descend(r, t, r.Depth, func() {
 			t.At(r.Site)
 			p.access(lay, r, t, tid, it)
 		})
-	})
+	}
+	if el := lay.elocks[r.ID]; el != nil {
+		el.Run(t, body)
+		return
+	}
+	ctx.Lock.Run(t, body)
 }
 
 // descend wraps leaf in the region's generated call chain, inserting
@@ -546,6 +651,28 @@ func (p *Program) access(lay *layout, r *Region, t *machine.Thread, tid, it int)
 		lines := lay.capacity[i][tid]
 		t.Store(lines[cur/mem.WordsPerLine].Offset(cur%mem.WordsPerLine), mem.Word(it)+1)
 		t.Store(cursor, mem.Word(cur)+1)
+	case KindElideWin:
+		// Short, conflict-free critical section: the ideal elision
+		// target.
+		t.Compute(r.Compute / 4)
+		t.Add(lay.private[i][tid], 1)
+	case KindElideRead:
+		// Read-mostly: load a line no thread ever writes, then update
+		// private state. Speculative attempts never conflict.
+		t.Load(lay.shared[i])
+		t.Compute(r.Compute)
+		t.Add(lay.private[i][tid], 1)
+	case KindElideSyscall:
+		// The unfriendly instruction sync-aborts every speculative
+		// attempt, so every visit serializes through the ladder's tail.
+		t.Add(lay.private[i][tid], 1)
+		t.Syscall("elide_serial")
+		t.Compute(r.Compute)
+	case KindElideCapacity:
+		t.Compute(r.Compute)
+		for _, line := range lay.capacity[i][tid] {
+			t.Store(line, mem.Word(it)+1)
+		}
 	case KindNested:
 		t.Compute(r.Compute)
 		// A nested transaction: in the speculative path it flattens
@@ -593,7 +720,16 @@ func (p *Program) check(threads int, lay *layout) func(m *machine.Machine) error
 						return fmt.Errorf("progen: region %d (%s): slot %v = %d, want %d", i, r.Kind, a, got, w)
 					}
 				}
-			case KindCapacity, KindStmCapacity:
+			case KindElideRead:
+				if got := m.Mem.Load(lay.shared[i]); got != 0 {
+					return fmt.Errorf("progen: region %d (%s): read-only line = %d, want 0", i, r.Kind, got)
+				}
+				for tid := 0; tid < threads; tid++ {
+					if got := m.Mem.Load(lay.private[i][tid]); got != iters {
+						return fmt.Errorf("progen: region %d (%s): thread %d counter = %d, want %d", i, r.Kind, tid, got, iters)
+					}
+				}
+			case KindCapacity, KindStmCapacity, KindElideCapacity:
 				for tid := 0; tid < threads; tid++ {
 					for j, line := range lay.capacity[i][tid] {
 						if got := m.Mem.Load(line); got != iters {

@@ -104,6 +104,89 @@ func BenchmarkPmemOpsPerSec(b *testing.B) {
 	}
 }
 
+// benchElisionCS drives threads through b.N critical sections of one
+// lock-usage shape on a single elidable lock, plain or eliding. It
+// reports two throughputs: host cs/sec (the simulator's path cost,
+// like the other runtime benchmarks) and simulated simcs/sec —
+// sections per simulated second at a nominal 1 GHz, from the
+// machine's makespan. The simulated number is the "what would elision
+// buy here" answer the profiler's verdict estimates from samples, and
+// the one CI's elided/plain ratio gate holds.
+func benchElisionCS(b *testing.B, threads int, shape string, elide bool) {
+	b.ReportAllocs()
+	perThread := b.N/threads + 1
+	emode := machine.ElisionOff
+	if elide {
+		emode = machine.ElisionOn
+	}
+	m := machine.New(machine.Config{Threads: threads, Seed: 1, Elision: emode})
+	el := NewElidedLock(m, "bench_"+shape)
+	table := m.Mem.AllocLines(4)
+	version := m.Mem.AllocLines(1)
+	private := m.Mem.AllocLines(threads)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		_ = m.RunAll(func(th *machine.Thread) {
+			ctr := private.Offset(th.ID * mem.WordsPerLine)
+			for i := 0; i < perThread; i++ {
+				switch shape {
+				case "read-mostly":
+					i := i
+					el.Run(th, func() {
+						if i%32 == 0 {
+							th.Add(version, 1)
+							return
+						}
+						for j := 0; j < 4; j++ {
+							th.Load(table.Offset(j * mem.WordsPerLine))
+						}
+					})
+				case "counter":
+					el.Run(th, func() { th.Add(version, 1) })
+				case "syscall":
+					el.Run(th, func() {
+						th.Add(ctr, 1)
+						th.Syscall("bench_serial")
+					})
+				}
+			}
+		})
+		close(done)
+	}()
+	<-done
+	b.StopTimer()
+	ops := float64(perThread) * float64(threads)
+	b.ReportMetric(ops/b.Elapsed().Seconds(), "cs/sec")
+	if cyc := m.Elapsed(); cyc > 0 {
+		b.ReportMetric(ops/(float64(cyc)/1e9), "simcs/sec")
+	}
+}
+
+// BenchmarkElisionOpsPerSec prices lock elision on three canonical
+// shapes under the paper's lock-only ladder: a read-mostly table
+// (elision should win — CI holds the elided/plain simulated
+// throughput ratio above 1.0 with benchdiff -ratio), a short
+// conflicting counter, and a syscall-poisoned section (the ladder's
+// worst case: every attempt burns speculation before serializing
+// anyway, so eliding costs throughput — the "lose" verdict's price).
+func BenchmarkElisionOpsPerSec(b *testing.B) {
+	const threads = 4
+	for _, shape := range []string{"read-mostly", "counter", "syscall"} {
+		for _, mode := range []struct {
+			name  string
+			elide bool
+		}{
+			{"plain", false},
+			{"elided", true},
+		} {
+			b.Run(fmt.Sprintf("%dthreads-%s-%s", threads, shape, mode.name), func(b *testing.B) {
+				benchElisionCS(b, threads, shape, mode.elide)
+			})
+		}
+	}
+}
+
 // BenchmarkSTMOpsPerSec compares the three ways a critical section can
 // execute: committing in hardware (htm), the forced word-based STM
 // slow path (stm), and the forced global-lock fallback (lock). CI

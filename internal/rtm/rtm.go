@@ -44,6 +44,14 @@ const (
 	// pmem tier — flushing logged lines, draining the persist fence,
 	// writing the commit record (not part of the paper's Figure 4).
 	InFlush
+	// InElision: the critical section is an elided lock (an
+	// ElidedLock running speculatively, not a TM_BEGIN section). The
+	// bit qualifies whichever base bucket is set — HTM attempt, STM
+	// slow path, fallback lock — so samples split into the
+	// elided-htm/elided-stm/elided-lock modes. It is set outside the
+	// hardware transaction (before XBEGIN), so the rolled-back state a
+	// PMU handler observes still carries it.
+	InElision
 )
 
 // The query functions of the profiler-facing state API (Figure 4).
@@ -73,6 +81,11 @@ func IsInSTM(s uint32) bool { return s&InSTM != 0 }
 // hardware transaction, so the handler observes the bit live.
 func IsInFlush(s uint32) bool { return s&InFlush != 0 }
 
+// IsInElision reports whether the state word shows an elided-lock
+// critical section. Set non-transactionally, so it survives PMU
+// interrupts like InSTM and InFlush.
+func IsInElision(s uint32) bool { return s&InElision != 0 }
+
 // Mode is the execution-mode classification of one cycles sample
 // under hybrid TM: the paper's Figure 4 buckets extended with the
 // instrumented software path. ModeHTM is only observable through the
@@ -98,6 +111,16 @@ const (
 	// ModeFlush: the durable-commit persist epilogue (flush, fence,
 	// commit record) of the pmem tier — persistence stalls.
 	ModeFlush
+	// ModeElidedHTM: inside a hardware transaction speculating an
+	// elided lock's critical section. A plain-lock section (elision
+	// off, or a non-elidable lock) classifies as ModeLock instead.
+	ModeElidedHTM
+	// ModeElidedSTM: an elided lock's critical section running in the
+	// instrumented software slow path.
+	ModeElidedSTM
+	// ModeElidedLock: an elided lock's critical section that exhausted
+	// the speculation ladder and actually acquired the lock.
+	ModeElidedLock
 
 	// NumModes sizes confusion matrices over Mode.
 	NumModes
@@ -106,7 +129,8 @@ const (
 var modeNames = [...]string{
 	ModeNone: "none", ModeHTM: "htm", ModeSTM: "stm",
 	ModeLock: "lock", ModeWaiting: "waiting", ModeOverhead: "overhead",
-	ModeFlush: "flush",
+	ModeFlush: "flush", ModeElidedHTM: "elided-htm",
+	ModeElidedSTM: "elided-stm", ModeElidedLock: "elided-lock",
 }
 
 func (m Mode) String() string {
@@ -123,16 +147,26 @@ func (m Mode) String() string {
 // evidence wins (the rolled-back state word cannot show InHTM), then
 // the live software bits.
 func ModeOf(state uint32, inTx bool) Mode {
+	elided := IsInElision(state)
 	switch {
 	case inTx:
+		if elided {
+			return ModeElidedHTM
+		}
 		return ModeHTM
 	case !IsInCS(state):
 		return ModeNone
 	case IsInFlush(state):
 		return ModeFlush
 	case IsInSTM(state):
+		if elided {
+			return ModeElidedSTM
+		}
 		return ModeSTM
 	case IsInFallback(state):
+		if elided {
+			return ModeElidedLock
+		}
 		return ModeLock
 	case IsInLockWaiting(state):
 		return ModeWaiting
@@ -285,6 +319,13 @@ type Lock struct {
 
 	overheadCycles int // software bookkeeping burned per attempt
 
+	// elided marks this lock as the engine of an ElidedLock running
+	// speculatively: every state-word update then carries InElision,
+	// splitting the lock's samples into the elided-* modes. False for
+	// TM_BEGIN sections and for elidable locks with elision off, which
+	// keeps those bit-identical to the pre-elision runtime.
+	elided bool
+
 	// Adaptive-policy state, mutated only by the simulated threads.
 	// All cross-thread reads and writes of this state (and of Stats)
 	// happen inside machine.Thread.Exclusive sections, which the
@@ -371,6 +412,17 @@ func (l *Lock) maxRetries() int {
 	return l.Policy.MaxRetries
 }
 
+// cs returns the state-word bits for this lock's critical sections:
+// the given base buckets, plus InElision when the lock is an elided
+// lock. Pure bit arithmetic — no machine operation, so schedules are
+// unchanged and non-elided locks produce exactly the old words.
+func (l *Lock) cs(bits uint32) uint32 {
+	if l.elided {
+		return bits | InElision
+	}
+	return bits
+}
+
 // emit delivers an instrumentation event and charges its cost.
 func (l *Lock) emit(t *machine.Thread, kind EventKind) {
 	if l.Sink == nil {
@@ -433,11 +485,11 @@ func (l *Lock) critical(t *machine.Thread, body func()) bool {
 	retries, lockBusy := 0, 0
 	for {
 		// Transaction setup overhead (paper's T_oh component).
-		t.State = InCS | InOverhead
+		t.State = l.cs(InCS | InOverhead)
 		t.Compute(l.overheadCycles)
 
 		// Wait for the lock to be free before starting (Figure 2).
-		t.State = InCS | InLockWaiting
+		t.State = l.cs(InCS | InLockWaiting)
 		waited := false
 		for t.Load(l.Addr) != 0 {
 			t.Compute(2)
@@ -457,7 +509,7 @@ func (l *Lock) critical(t *machine.Thread, body func()) bool {
 			t.Compute(1 + t.Rand().Intn(4*l.Policy.BackoffBase))
 		}
 
-		t.State = InCS | InOverhead
+		t.State = l.cs(InCS | InOverhead)
 		sawLockHeld, sawStmWriter := false, false
 		abort := t.Attempt(func() {
 			t.State |= InHTM // transactional update; rolls back on abort
@@ -481,7 +533,7 @@ func (l *Lock) critical(t *machine.Thread, body func()) bool {
 		})
 		if abort == nil {
 			// Committed. Clean up (overhead), leave the CS.
-			t.State = InCS | InOverhead
+			t.State = l.cs(InCS | InOverhead)
 			t.Compute(l.overheadCycles)
 			l.emit(t, EventCommit)
 			ok := l.persist(t)
@@ -541,7 +593,7 @@ func (l *Lock) critical(t *machine.Thread, body func()) bool {
 	// non-transactional write to the lock line, aborting every
 	// transaction that has read it — the serialization the paper's
 	// T_wait measures.
-	t.State = InCS | InLockWaiting
+	t.State = l.cs(InCS | InLockWaiting)
 	for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
 		for t.Load(l.Addr) != 0 {
 			t.Compute(2)
@@ -556,9 +608,9 @@ func (l *Lock) critical(t *machine.Thread, body func()) bool {
 		l.waitQuiesce(t)
 	}
 	held := t.Clock() // lock acquired; the serialization span begins
-	t.State = InCS | InFallback
+	t.State = l.cs(InCS | InFallback)
 	body()
-	t.State = InCS | InOverhead
+	t.State = l.cs(InCS | InOverhead)
 	t.Store(l.Addr, 0) // release
 	t.TraceEvent(telemetry.Event{
 		Kind: telemetry.KindSpan, TS: held, Dur: t.Clock() - held,
@@ -584,7 +636,7 @@ func (l *Lock) persist(t *machine.Thread) bool {
 		return true
 	}
 	prev := t.State
-	t.State = InCS | InFlush
+	t.State = l.cs(InCS | InFlush)
 	crashed, committed := false, true
 	t.Func("pmem_persist", func() {
 		crashed, committed = t.PmemPersist()
@@ -604,7 +656,7 @@ func (l *Lock) backoff(t *machine.Thread, retries int, storming bool) {
 	if storming {
 		window <<= 2 // desynchronize harder while the storm lasts
 	}
-	t.State = InCS | InOverhead
+	t.State = l.cs(InCS | InOverhead)
 	t.Compute(1 + t.Rand().Intn(window))
 }
 
@@ -616,11 +668,11 @@ func (l *Lock) backoff(t *machine.Thread, retries int, storming bool) {
 // maintained identically, so the profiler needs no HLE-specific code.
 func (l *Lock) RunHLE(t *machine.Thread, body func()) {
 	t.Func("hle_acquire", func() {
-		t.State = InCS | InLockWaiting
+		t.State = l.cs(InCS | InLockWaiting)
 		for t.Load(l.Addr) != 0 {
 			t.Compute(2)
 		}
-		t.State = InCS | InOverhead
+		t.State = l.cs(InCS | InOverhead)
 		abort := t.Attempt(func() {
 			t.State |= InHTM
 			if t.Load(l.Addr) != 0 {
@@ -635,15 +687,15 @@ func (l *Lock) RunHLE(t *machine.Thread, body func()) {
 		}
 		t.Exclusive(func() { l.Stats.Aborts[abort.Cause]++ })
 		// HLE retries by grabbing the real lock immediately.
-		t.State = InCS | InLockWaiting
+		t.State = l.cs(InCS | InLockWaiting)
 		for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
 			for t.Load(l.Addr) != 0 {
 				t.Compute(2)
 			}
 		}
-		t.State = InCS | InFallback
+		t.State = l.cs(InCS | InFallback)
 		body()
-		t.State = InCS | InOverhead
+		t.State = l.cs(InCS | InOverhead)
 		t.Store(l.Addr, 0)
 		t.State = 0
 		t.Exclusive(func() { l.Stats.Fallbacks++ })
@@ -655,13 +707,13 @@ func (l *Lock) RunHLE(t *machine.Thread, body func()) {
 // were ported from.
 func (l *Lock) RunLocked(t *machine.Thread, body func()) {
 	t.Func("lock_acquire", func() {
-		t.State = InCS | InLockWaiting
+		t.State = l.cs(InCS | InLockWaiting)
 		for !t.AtomicCAS(l.Addr, 0, mem.Word(t.ID)+1) {
 			for t.Load(l.Addr) != 0 {
 				t.Compute(2)
 			}
 		}
-		t.State = InCS | InFallback
+		t.State = l.cs(InCS | InFallback)
 		body()
 		t.Store(l.Addr, 0)
 		t.State = 0

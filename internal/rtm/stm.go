@@ -201,9 +201,9 @@ func (x *stmTx) enterWritePhase() {
 		}
 		// A fallback-lock holder owns memory; wait it out before
 		// instrumenting writes.
-		t.State = InCS | InLockWaiting
+		t.State = l.cs(InCS | InLockWaiting)
 		t.Compute(2)
-		t.State = InCS | InSTM
+		t.State = l.cs(InCS | InSTM)
 	}
 	x.wrote = true
 	// The active word shares the lock's cache line; its bump executes
@@ -291,7 +291,7 @@ func (l *Lock) runSTM(t *machine.Thread, body func()) bool {
 		attempts = 1
 	}
 	for attempt := 0; attempt < attempts; attempt++ {
-		t.State = InCS | InOverhead
+		t.State = l.cs(InCS | InOverhead)
 		t.Compute(stmBeginCost)
 		begin := t.Clock()
 		t.TraceEvent(telemetry.Event{
@@ -299,7 +299,7 @@ func (l *Lock) runSTM(t *machine.Thread, body func()) bool {
 			TID: int32(t.ID), Name: "stm-begin",
 		})
 		x := &stmTx{l: l, t: t}
-		t.State = InCS | InSTM
+		t.State = l.cs(InCS | InSTM)
 		t.SetSoftTx(x)
 		aborted := runSTMBody(t, x, body)
 		t.SetSoftTx(nil)
@@ -312,7 +312,7 @@ func (l *Lock) runSTM(t *machine.Thread, body func()) bool {
 			})
 			if committed {
 				x.release()
-				t.State = InCS | InOverhead
+				t.State = l.cs(InCS | InOverhead)
 				t.Compute(l.overheadCycles)
 				t.TraceEvent(telemetry.Event{
 					Kind: telemetry.KindSpan, TS: begin, Dur: t.Clock() - begin,
@@ -333,7 +333,7 @@ func (l *Lock) runSTM(t *machine.Thread, body func()) bool {
 		})
 		t.Exclusive(func() { l.Stats.StmAborts++ })
 		if attempt+1 < attempts && l.Policy.BackoffBase > 0 {
-			t.State = InCS | InOverhead
+			t.State = l.cs(InCS | InOverhead)
 			t.Compute(1 + t.Rand().Intn(l.Policy.BackoffBase<<uint(attempt)))
 		}
 	}

@@ -84,8 +84,10 @@ func checkInvariants(p *progen.Program, base txsampler.Options, res *txsampler.R
 	// reshapes the conflict interleaving of the few contended regions
 	// rather than just the observation points. The remaining
 	// invariants (permutation, quantum identity, fault drift) still
-	// apply to both.
-	if !o.StmBias && !o.PmemBias {
+	// apply to both. Elision-bias programs break it too: the lose
+	// templates sync-abort every attempt, and shifting interrupt
+	// timing moves which ladder rung each retry lands on.
+	if !o.StmBias && !o.PmemBias && !o.ElisionBias {
 		perOpts := base
 		perOpts.Periods = periodVariant()
 		per, err := txsampler.RunWorkload(w(), perOpts)

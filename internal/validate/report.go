@@ -44,6 +44,14 @@ type Aggregate struct {
 	PersistSamples uint64  `json:"persist_samples,omitempty"`
 	PmemAccuracy   float64 `json:"pmem_accuracy"`
 
+	// ElideSites and ElisionAccuracy micro-average the elision-verdict
+	// scoring: over every sampled elidable lock site across programs,
+	// the fraction whose "would elision win?" verdict matches the
+	// by-construction truth. Vacuously 1 for campaigns without
+	// elidable locks.
+	ElideSites      int     `json:"elide_sites,omitempty"`
+	ElisionAccuracy float64 `json:"elision_accuracy"`
+
 	// InvariantViolations counts failed metamorphic invariants across
 	// all programs (zero on a healthy profiler).
 	InvariantViolations int `json:"invariant_violations"`
@@ -53,12 +61,13 @@ type Aggregate struct {
 type Report struct {
 	// N and Seed reproduce the campaign: program i uses generation
 	// seed Seed+i.
-	N        int    `json:"n"`
-	Seed     int64  `json:"seed"`
-	Threads  int    `json:"threads,omitempty"`
-	Hybrid   string `json:"hybrid_policy,omitempty"`
-	StmBias  bool   `json:"stm_bias,omitempty"`
-	PmemBias bool   `json:"pmem_bias,omitempty"`
+	N           int    `json:"n"`
+	Seed        int64  `json:"seed"`
+	Threads     int    `json:"threads,omitempty"`
+	Hybrid      string `json:"hybrid_policy,omitempty"`
+	StmBias     bool   `json:"stm_bias,omitempty"`
+	PmemBias    bool   `json:"pmem_bias,omitempty"`
+	ElisionBias bool   `json:"elision_bias,omitempty"`
 
 	Aggregate Aggregate        `json:"aggregate"`
 	Programs  []*ProgramResult `json:"programs"`
@@ -68,12 +77,12 @@ type Report struct {
 // seed..seed+n-1. It is deterministic: equal (n, seed, o) yield
 // byte-identical reports.
 func Campaign(n int, seed int64, o Options) (*Report, error) {
-	r := &Report{N: n, Seed: seed, Threads: o.Threads, StmBias: o.StmBias, PmemBias: o.PmemBias}
+	r := &Report{N: n, Seed: seed, Threads: o.Threads, StmBias: o.StmBias, PmemBias: o.PmemBias, ElisionBias: o.ElisionBias}
 	if o.Hybrid != machine.HybridLockOnly {
 		r.Hybrid = o.Hybrid.String()
 	}
 	for i := 0; i < n; i++ {
-		p := progen.Generate(progen.Config{Seed: seed + int64(i), Threads: o.Threads, StmBias: o.StmBias, PmemBias: o.PmemBias})
+		p := progen.Generate(progen.Config{Seed: seed + int64(i), Threads: o.Threads, StmBias: o.StmBias, PmemBias: o.PmemBias, ElisionBias: o.ElisionBias})
 		pr, err := Program(p, o)
 		if err != nil {
 			return nil, err
@@ -89,6 +98,7 @@ func aggregate(progs []*ProgramResult) Aggregate {
 	var txCorrect, naiveCorrect, detected, inTx uint64
 	var modeTotal, modeCorrect uint64
 	var persistTotal, persistCorrect uint64
+	var elideTotal, elideCorrect int
 	var tTP, tRep, tSam, fTP, fRep, fSam int
 	for _, p := range progs {
 		inTx += p.InTxSamples
@@ -99,6 +109,8 @@ func aggregate(progs []*ProgramResult) Aggregate {
 		modeCorrect += p.ModeCorrect
 		persistTotal += p.PersistSamples
 		persistCorrect += p.PersistCorrect
+		elideTotal += p.ElideSites
+		elideCorrect += p.ElideCorrect
 		if p.CauseDrift > a.MaxCauseDrift {
 			a.MaxCauseDrift = p.CauseDrift
 		}
@@ -120,6 +132,8 @@ func aggregate(progs []*ProgramResult) Aggregate {
 	a.ModeAccuracy = frac(modeCorrect, modeTotal)
 	a.PersistSamples = persistTotal
 	a.PmemAccuracy = frac(persistCorrect, persistTotal)
+	a.ElideSites = elideTotal
+	a.ElisionAccuracy = ratioOr1(elideCorrect, elideTotal)
 	return a
 }
 
@@ -172,6 +186,10 @@ type Baseline struct {
 	// accuracy on pmem-bias campaigns (vacuously satisfied by
 	// campaigns without durable regions).
 	MinPmemAccuracy float64 `json:"min_pmem_accuracy"`
+	// MinElisionAccuracy floors the per-site elision-verdict accuracy
+	// on elision-bias campaigns (vacuously satisfied by campaigns
+	// without elidable locks).
+	MinElisionAccuracy float64 `json:"min_elision_accuracy"`
 }
 
 // LoadBaseline reads a baseline file.
@@ -203,6 +221,7 @@ func (b Baseline) Check(a Aggregate) error {
 	low("false_sharing_recall", a.FalseSharingRecall, b.MinFalseSharingRecall)
 	low("mode_accuracy", a.ModeAccuracy, b.MinModeAccuracy)
 	low("pmem_accuracy", a.PmemAccuracy, b.MinPmemAccuracy)
+	low("elision_accuracy", a.ElisionAccuracy, b.MinElisionAccuracy)
 	if a.MaxCauseDrift > b.MaxCauseDrift {
 		errs = append(errs, fmt.Sprintf("max_cause_drift %.4f above baseline %.4f", a.MaxCauseDrift, b.MaxCauseDrift))
 	}

@@ -117,6 +117,16 @@ type ProgramResult struct {
 	PersistCorrect  uint64  `json:"persist_correct,omitempty"`
 	PersistAccuracy float64 `json:"persist_accuracy,omitempty"`
 
+	// Elision-verdict scoring (elision tier): of the program's elidable
+	// lock sites that received samples, how many the profiler's per-site
+	// "would elision win?" verdict matches the by-construction ground
+	// truth, plus the verdict confusion matrix. Zero/omitted for
+	// programs without elidable locks.
+	ElideSites    int         `json:"elide_sites,omitempty"`
+	ElideCorrect  int         `json:"elide_correct,omitempty"`
+	ElideAccuracy float64     `json:"elide_accuracy,omitempty"`
+	ElideMatrix   []ElideCell `json:"elide_matrix,omitempty"`
+
 	// Violations lists every failed metamorphic invariant (empty on a
 	// healthy program).
 	Violations []string `json:"violations"`
@@ -128,6 +138,15 @@ type ModeCell struct {
 	Truth string `json:"truth"`
 	Got   string `json:"got"`
 	Count uint64 `json:"count"`
+}
+
+// ElideCell is one non-zero cell of a program's elision-verdict
+// confusion matrix: the by-construction truth vs. the profiler's
+// per-site verdict.
+type ElideCell struct {
+	Truth string `json:"truth"`
+	Got   string `json:"got"`
+	Count int    `json:"count"`
 }
 
 // Options tunes a validation run; the zero value is the standard
@@ -150,6 +169,10 @@ type Options struct {
 	// persistence-stall bucket carries real sample mass for the
 	// classification-accuracy gate.
 	PmemBias bool
+	// ElisionBias switches generation to progen's elidable-lock
+	// template mix and turns elision on, so the per-site "would elision
+	// win?" verdict can be scored against the by-construction truth.
+	ElisionBias bool
 }
 
 // Program validates one generated program: the base profiled run with
@@ -163,6 +186,9 @@ func Program(p *progen.Program, o Options) (*ProgramResult, error) {
 	}
 	if o.PmemBias {
 		base.Pmem = pmem.Config{Enabled: true}
+	}
+	if o.ElisionBias {
+		base.Elision = machine.ElisionOn
 	}
 	res, acc, err := txsampler.RunWorkloadWithAccuracy(w, base)
 	if err != nil {
@@ -190,6 +216,8 @@ func Program(p *progen.Program, o Options) (*ProgramResult, error) {
 	pr.ModeAccuracy = round(acc.Modes.Accuracy())
 	pr.ModeMatrix = modeCells(&acc.Modes)
 	pr.PersistSamples, pr.PersistCorrect, pr.PersistAccuracy = persistScore(&acc.Modes)
+	pr.ElideSites, pr.ElideCorrect, pr.ElideMatrix = elisionScore(p, res)
+	pr.ElideAccuracy = ratioOr1(pr.ElideCorrect, pr.ElideSites)
 	pr.Violations, err = checkInvariants(p, base, res, o)
 	if err != nil {
 		return nil, fmt.Errorf("validate %s: %w", p.Name, err)
@@ -329,6 +357,53 @@ func persistScore(m *core.ModeMatrix) (samples, correct uint64, accuracy float64
 		return 0, 0, 0
 	}
 	return union, diag, round(float64(diag) / float64(union))
+}
+
+// elisionScore grades the profiler's per-lock-site elision verdicts
+// against the program's by-construction expectation. Sites whose
+// verdict is "no-data" (no executed sample landed in the site's
+// subtree) are sampling misses, not classification misses, and are
+// excluded — everything else, including a "plain-lock" verdict on a
+// site that truly ran elided, counts against the accuracy.
+func elisionScore(p *progen.Program, res *txsampler.Result) (sites, correct int, cells []ElideCell) {
+	verdicts := make(map[string]string)
+	for _, s := range res.Report.ElisionSites() {
+		verdicts[s.Site] = s.Verdict()
+	}
+	counts := make(map[[2]string]int)
+	for _, r := range p.Regions {
+		shouldWin, ok := r.Kind.ElideVerdict()
+		if !ok {
+			continue
+		}
+		got, found := verdicts[r.Site]
+		if !found || got == "no-data" {
+			continue
+		}
+		truth := "lose"
+		if shouldWin {
+			truth = "win"
+		}
+		sites++
+		if got == truth {
+			correct++
+		}
+		counts[[2]string{truth, got}]++
+	}
+	keys := make([][2]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		cells = append(cells, ElideCell{Truth: k[0], Got: k[1], Count: counts[k]})
+	}
+	return sites, correct, cells
 }
 
 // modeCells flattens the non-zero confusion cells in fixed

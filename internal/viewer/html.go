@@ -9,6 +9,7 @@ import (
 	"txsampler/internal/core"
 	"txsampler/internal/decision"
 	"txsampler/internal/htm"
+	"txsampler/internal/pmu"
 )
 
 // htmlNode is one row of the HTML calling-context view.
@@ -38,6 +39,7 @@ type htmlReport struct {
 	HasStm   bool
 	Persist  float64 // persistence-stall share of CS time
 	HasPmem  bool
+	Elision  []htmlElisionSite
 	RatioAC  float64
 	Conflict float64
 	Capacity float64
@@ -56,6 +58,16 @@ type htmlMetric struct {
 	Name    string
 	Kind    string
 	Display string
+}
+
+// htmlElisionSite is one row of the per-lock-site elision verdict
+// table.
+type htmlElisionSite struct {
+	Site           string
+	Htm, Stm, Lock uint64
+	SuccessPct     float64
+	Saved          uint64
+	Verdict        string
 }
 
 var htmlTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
@@ -80,6 +92,12 @@ fallback {{printf "%.1f" .Fb}}%, lock-wait {{printf "%.1f" .Wait}}%, overhead {{
 instrumentation overhead stm/htm = {{printf "%.2f" .StmRatio}}</p>{{end}}
 {{if .HasPmem}}<p class="meta">pmem: persist {{printf "%.1f" .Persist}}% of CS
 (persistence stalls: flush + fence + commit record)</p>{{end}}
+{{if .Elision}}<h2>Lock elision: would it win?</h2>
+<table><tr><th>lock site</th><th>htm</th><th>stm</th><th>lock</th>
+<th>success</th><th>saved (cycles)</th><th>verdict</th></tr>
+{{range .Elision}}<tr><td class="scope">{{.Site}}</td><td>{{.Htm}}</td><td>{{.Stm}}</td>
+<td>{{.Lock}}</td><td>{{printf "%.1f" .SuccessPct}}%</td><td>{{.Saved}}</td><td>{{.Verdict}}</td></tr>
+{{end}}</table>{{end}}
 <p class="meta">abort weight: conflict {{printf "%.1f" .Conflict}}%,
 capacity {{printf "%.1f" .Capacity}}%, sync {{printf "%.1f" .Sync}}%</p>
 
@@ -132,6 +150,14 @@ func HTML(w io.Writer, r *analyzer.Report, advice *decision.Advice, opt TreeOpti
 	if r.Totals.Tpersist > 0 {
 		data.HasPmem = true
 		data.Persist = 100 * persist
+	}
+	for _, s := range r.ElisionSites() {
+		data.Elision = append(data.Elision, htmlElisionSite{
+			Site: s.Site, Htm: s.Htm, Stm: s.Stm, Lock: s.Lock,
+			SuccessPct: 100 * s.SuccessRate(),
+			Saved:      s.SavedCycles(r.Periods[pmu.Cycles]),
+			Verdict:    s.Verdict(),
+		})
 	}
 
 	totalT := float64(r.Totals.T)

@@ -80,6 +80,10 @@ type Options struct {
 	// the workload (zero = HybridLockOnly, the classic global-lock
 	// fallback). See machine.HybridPolicy.
 	Hybrid machine.HybridPolicy
+	// Elision turns lock elision on: every rtm.ElidedLock in the
+	// workload speculates before acquiring (zero = ElisionOff, plain
+	// lock acquisition). See machine.ElisionMode.
+	Elision machine.ElisionMode
 	// Thresholds tune the decision tree.
 	Thresholds decision.Thresholds
 	// Faults enables deterministic fault injection (chaos profiling);
@@ -178,6 +182,7 @@ func RunWorkload(w *htmbench.Workload, o Options) (*Result, error) {
 		Quantum:     o.Quantum,
 		Trace:       o.Trace,
 		Hybrid:      o.Hybrid,
+		Elision:     o.Elision,
 		Context:     o.Context,
 	}
 	if o.Profile {
@@ -281,7 +286,7 @@ func RunWorkloadWithAccuracy(w *htmbench.Workload, o Options) (*Result, Accuracy
 		Seed: o.Seed, HandlerCost: o.HandlerCost, StartSkew: 1024,
 		Periods: o.Periods, Faults: o.Faults, Pmem: o.Pmem,
 		Quantum: o.Quantum, Trace: o.Trace, Hybrid: o.Hybrid,
-		Context: o.Context,
+		Elision: o.Elision, Context: o.Context,
 	}
 	if !cfg.Sampling() {
 		cfg.Periods = DefaultPeriods()
